@@ -1,0 +1,21 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Each benchmark module regenerates one table or figure of the paper,
+prints it (captured into the pytest output / bench_output.txt), writes
+it to ``results/``, and asserts the paper's qualitative shape.  The
+``benchmark`` fixture times a short representative kernel of the same
+experiment so `--benchmark-only` also yields meaningful wall-clock
+numbers for the simulator itself.
+"""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def publish(name, rendered):
+    """Print a rendered table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n")
+    print()
+    print(rendered)

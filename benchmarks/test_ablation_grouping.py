@@ -1,0 +1,95 @@
+"""Ablation: the object-grouping key.
+
+The paper groups objects by (size, call-stack signature) and remarks
+that "our grouping mechanism works well" (Section 3).  This ablation
+shows why both components matter: two call sites that allocate the
+same size but with very different lifetimes get merged under size-only
+grouping, the long-lived site inflates the merged group's maximal
+lifetime, and the short-lived site's leak escapes detection.
+"""
+
+from conftest import publish
+from repro.analysis.tables import render_table
+from repro.core.config import leak_only_config
+from repro.core.safemem import SafeMem
+from repro.machine.machine import Machine
+from repro.machine.program import Program
+
+SHORT_SITE = 0xAAAA     # fast-churning group that leaks sometimes
+LONG_SITE = 0xBBBB      # legitimately long-lived group, same size
+SIZE = 64
+ITERATIONS = 2500
+WORK = 100_000
+
+
+def run_grouping(grouping):
+    machine = Machine(dram_size=64 * 1024 * 1024)
+    safemem = SafeMem(leak_only_config(grouping=grouping))
+    program = Program(machine, monitor=safemem,
+                      heap_size=16 * 1024 * 1024)
+
+    # Long-lived site: a rolling window of session objects that each
+    # live for ~400 iterations -- legitimate, and freed eventually.
+    long_window = []
+    leaked = []
+    for i in range(ITERATIONS):
+        with program.frame(LONG_SITE):
+            long_window.append(program.malloc(SIZE))
+        if len(long_window) > 400:
+            program.free(long_window.pop(0))
+
+        # Short-lived site: freed within one iteration, except the 2%
+        # that leak.
+        with program.frame(SHORT_SITE):
+            short = program.malloc(SIZE)
+        program.store(short, b"req")
+        if i % 50 == 49:
+            leaked.append(short)
+        else:
+            program.free(short)
+        program.compute(WORK)
+    program.exit()
+
+    reported = {r.object_address for r in safemem.leak_reports}
+    return {
+        "true_leaks": len(leaked),
+        "true_reported": len(reported & set(leaked)),
+        "false_reported": len(reported - set(leaked)),
+        "groups": len(safemem.leak.groups),
+    }
+
+
+def test_ablation_grouping_key(benchmark):
+    outcomes = {g: run_grouping(g) for g in
+                ("size_callsig", "size", "callsig")}
+
+    rows = [
+        (grouping, o["groups"], o["true_leaks"], o["true_reported"],
+         o["false_reported"])
+        for grouping, o in outcomes.items()
+    ]
+    publish("ablation_grouping", render_table(
+        "Ablation: grouping key (two same-size sites, different "
+        "lifetimes)",
+        ["grouping", "groups", "true leaks", "reported true",
+         "reported false"],
+        rows,
+        note="size-only merges the sites; the long-lived site inflates "
+             "the merged maximal lifetime and hides the leak",
+    ))
+
+    full = outcomes["size_callsig"]
+    size_only = outcomes["size"]
+    # The full key separates the sites and finds the leak.
+    assert full["groups"] == 2
+    assert full["true_reported"] > 0
+    assert full["false_reported"] == 0
+    # Size-only merges them and detects strictly less.
+    assert size_only["groups"] == 1
+    assert size_only["true_reported"] < full["true_reported"]
+    # callsig-only still separates these two sites (sizes equal), so
+    # it behaves like the full key *here* -- the converse failure
+    # (same site, different sizes) is covered by unit tests.
+    assert outcomes["callsig"]["groups"] == 2
+
+    benchmark(lambda: run_grouping("size_callsig"))

@@ -1,0 +1,52 @@
+"""Supplementary experiment: continuous leaks grow the heap unboundedly.
+
+Not a numbered table in the paper, but its central motivation
+(Sections 1 and 3): "continuous memory leaks (non-stop leaking) can
+cause programs to run out of virtual memory and eventually crash".
+This benchmark profiles live heap bytes over time for each leak
+application under normal and buggy inputs and checks the divergence.
+"""
+
+from conftest import publish
+from repro.analysis.memory_profile import profile_heap
+from repro.analysis.tables import render_table
+from repro.workloads.registry import LEAK_WORKLOADS
+
+
+def test_heap_growth_divergence(benchmark):
+    rows = []
+    outcomes = {}
+    for app in LEAK_WORKLOADS:
+        normal = profile_heap(app, requests=400)
+        buggy = profile_heap(app, buggy=True, requests=400)
+        outcomes[app] = (normal, buggy)
+        rows.append((
+            app,
+            f"{normal.final_live_bytes:,}",
+            f"{buggy.final_live_bytes:,}",
+            f"{normal.second_half_growth():,}",
+            f"{buggy.second_half_growth():,}",
+        ))
+
+    publish("extra_heap_growth", render_table(
+        "Supplementary: live heap bytes, normal vs buggy input "
+        "(400 requests)",
+        ["App", "final (normal)", "final (buggy)",
+         "2nd-half growth (normal)", "2nd-half growth (buggy)"],
+        rows,
+        note="continuous leaks keep climbing after warm-up; healthy "
+             "runs plateau (the paper's motivation)",
+    ))
+
+    for app, (normal, buggy) in outcomes.items():
+        # The buggy run ends with a strictly larger heap...
+        assert buggy.final_live_bytes > normal.final_live_bytes, app
+        # ... and keeps growing after warm-up while the normal run
+        # plateaus (tolerate small steady-state wobble).
+        assert buggy.second_half_growth() > 0, app
+        assert normal.second_half_growth() <= \
+            buggy.second_half_growth() / 4, app
+        # Growth rate is positive for every buggy leak app.
+        assert buggy.growth_rate_bytes_per_second() > 0, app
+
+    benchmark(lambda: profile_heap("ypserv1", buggy=True, requests=50))

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Quickstart: boot a simulated ECC machine, attach SafeMem, catch bugs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Machine, Program, SafeMem
+from repro.common.errors import MonitorError
+
+
+def main():
+    # Boot a machine with ECC memory and attach SafeMem to a program,
+    # exactly like LD_PRELOADing the real tool.
+    machine = Machine()
+    safemem = SafeMem()
+    program = Program(machine, monitor=safemem)
+
+    # Normal usage is untouched.
+    buffer = program.malloc(100)
+    program.store(buffer, b"hello, ECC watchpoints")
+    print("read back:", program.load(buffer, 22))
+
+    # Bug 1: buffer overflow.  The byte one past the (line-rounded)
+    # buffer lands on an ECC-guarded padding line.
+    try:
+        program.store(buffer + 128, b"!")
+    except MonitorError as error:
+        print("caught:", error.report)
+
+    # Bug 2: use-after-free.  Freed buffers stay ECC-watched until
+    # their memory is reallocated.
+    program.free(buffer)
+    try:
+        program.load(buffer, 1)
+    except MonitorError as error:
+        print("caught:", error.report)
+
+    # The monitoring cost so far, in simulated CPU time:
+    print(f"simulated CPU time: {machine.clock.cpu_microseconds:.1f} us")
+    print("safemem statistics:", safemem.statistics())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim so `pip install -e .` works offline (no wheel package installed)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,189 @@
+"""Machine-checkable reproduction claims.
+
+Every qualitative statement in EXPERIMENTS.md is encoded here as a
+:class:`Claim` with a check function, so ``python -m repro validate``
+can re-verify the whole reproduction in one command and print a
+PASS/FAIL matrix.  The benchmarks assert the same properties; this
+module is the single-command, human-facing version.
+"""
+
+from dataclasses import dataclass
+
+from repro.analysis import paper
+from repro.analysis.experiments import (
+    experiment_figure3,
+    experiment_table2,
+    experiment_table3,
+    experiment_table4,
+    experiment_table5,
+)
+
+
+@dataclass
+class Claim:
+    """One verifiable statement about the reproduction."""
+
+    ident: str
+    statement: str
+    #: callable(context) -> (passed: bool, evidence: str)
+    check: object
+    source: str  # which experiment feeds it
+
+
+@dataclass
+class ClaimResult:
+    claim: Claim
+    passed: bool
+    evidence: str
+
+
+def _t2_microseconds(context):
+    rows = {name: (measured, reference)
+            for name, measured, reference in context["table2"].rows}
+    worst = max(abs(m - r) / r for m, r in rows.values())
+    return worst < 0.10, f"max relative deviation {worst:.1%}"
+
+
+def _t2_ordering(context):
+    rows = {name: measured
+            for name, measured, _r in context["table2"].rows}
+    ok = rows["mprotect"] < rows["DisableWatchMemory"] < \
+        rows["WatchMemory"]
+    return ok, (f"mprotect {rows['mprotect']:.2f} < disable "
+                f"{rows['DisableWatchMemory']:.2f} < watch "
+                f"{rows['WatchMemory']:.2f} us")
+
+
+def _t3_all_detected(context):
+    rows = context["table3"].rows
+    missed = [r.workload for r in rows if not r.detected]
+    return not missed, f"missed: {missed}" if missed else "7/7 detected"
+
+
+def _t3_band(context):
+    overheads = context["table3"].full_overheads
+    low, high = min(overheads), max(overheads)
+    ok = 0 < low and high < 16.0
+    return ok, f"ML+MC overhead spans {low:.1f}%-{high:.1f}%"
+
+
+def _t3_purify_gap(context):
+    rows = context["table3"].rows
+    worst = min(r.reduction_factor for r in rows)
+    return worst > 20, (f"SafeMem at least {worst:.0f}x cheaper than "
+                        "Purify everywhere")
+
+
+def _t3_mc_dominates_ml(context):
+    rows = context["table3"].rows
+    bad = [r.workload for r in rows if r.mc_overhead <= r.ml_overhead]
+    return not bad, f"violations: {bad}" if bad else \
+        "MC > ML for all 7 apps"
+
+
+def _t4_reduction(context):
+    reductions = context["table4"].reductions
+    low, high = min(reductions), max(reductions)
+    ok = low > 55 and high < 110
+    return ok, f"reduction spans {low:.0f}x-{high:.0f}x (paper 64-74x)"
+
+
+def _t5_exact(context):
+    rows = {r.workload: r for r in context["table5"].rows}
+    mismatches = []
+    for app, (before, after) in paper.TABLE5_FALSE_POSITIVES.items():
+        row = rows[app]
+        if (row.before_pruning, row.after_pruning) != (before, after):
+            mismatches.append(
+                f"{app}: {row.before_pruning}->{row.after_pruning} "
+                f"(paper {before}->{after})"
+            )
+    return not mismatches, "; ".join(mismatches) if mismatches else \
+        "7/9/13/2 -> 0/0/1/0 exactly"
+
+
+def _t5_true_leaks(context):
+    rows = context["table5"].rows
+    missing = [r.workload for r in rows if r.true_leaks_reported == 0]
+    return not missing, f"no true leak reported for: {missing}" \
+        if missing else "every leak app's bug reported"
+
+
+def _f3_stability(context):
+    for series in context["figure3"].series:
+        run_s = context["figure3"].run_seconds[series.workload]
+        if series.final_percent != 100.0:
+            return False, f"{series.workload}: not all groups stable"
+        if series.last_warmup_seconds >= 0.10 * run_s:
+            return False, (f"{series.workload}: stabilized at "
+                           f"{series.last_warmup_seconds:.3f}s of "
+                           f"{run_s:.3f}s")
+    return True, "all groups stable within the first 10% of each run"
+
+
+CLAIMS = [
+    Claim("T2-values", "syscall costs match the paper's Table 2",
+          _t2_microseconds, "table2"),
+    Claim("T2-order", "mprotect < DisableWatchMemory < WatchMemory",
+          _t2_ordering, "table2"),
+    Claim("T3-detect", "SafeMem detects all seven bugs",
+          _t3_all_detected, "table3"),
+    Claim("T3-band", "SafeMem ML+MC stays in the production band",
+          _t3_band, "table3"),
+    Claim("T3-gap", "SafeMem is orders of magnitude cheaper than Purify",
+          _t3_purify_gap, "table3"),
+    Claim("T3-mc-ml", "corruption detection costs more than leak "
+          "detection", _t3_mc_dominates_ml, "table3"),
+    Claim("T4-reduction", "page guards waste ~64-74x more than ECC "
+          "guards", _t4_reduction, "table4"),
+    Claim("T5-counts", "false positives match the paper exactly",
+          _t5_exact, "table5"),
+    Claim("T5-bugs", "pruning never hides the real leak",
+          _t5_true_leaks, "table5"),
+    Claim("F3-stability", "group maximal lifetimes stabilize early",
+          _f3_stability, "figure3"),
+]
+
+
+def gather_context(requests=250):
+    """Run every experiment once; claims share the results."""
+    return {
+        "table2": experiment_table2(),
+        "table3": experiment_table3(requests=requests),
+        "table4": experiment_table4(requests=requests),
+        "table5": experiment_table5(),
+        "figure3": experiment_figure3(),
+    }
+
+
+def validate(requests=250, context=None):
+    """Check every claim; returns a list of :class:`ClaimResult`."""
+    if context is None:
+        context = gather_context(requests=requests)
+    results = []
+    for claim in CLAIMS:
+        try:
+            passed, evidence = claim.check(context)
+        except Exception as error:  # a crashed check is a failed claim
+            passed, evidence = False, f"check raised {error!r}"
+        results.append(ClaimResult(claim=claim, passed=passed,
+                                   evidence=evidence))
+    return results
+
+
+def render_validation(results):
+    from repro.analysis.tables import render_table
+    rows = [
+        (result.claim.ident,
+         "PASS" if result.passed else "FAIL",
+         result.claim.statement,
+         result.evidence)
+        for result in results
+    ]
+    failed = sum(1 for r in results if not r.passed)
+    return render_table(
+        f"Reproduction validation: {len(results) - failed}/"
+        f"{len(results)} claims hold",
+        ["claim", "status", "statement", "evidence"],
+        rows,
+    )

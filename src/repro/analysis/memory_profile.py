@@ -1,0 +1,93 @@
+"""Heap-growth profiles: the paper's motivation, measured.
+
+Section 1/3 of the paper: trivial leaks only waste memory, but
+*continuous* leaks grow the heap without bound, increase paging, and
+eventually crash the program -- which is why they matter for
+availability and are exploited for denial of service.  This module
+samples a workload's live heap over time so experiments can show the
+divergence between normal and buggy runs (and the swap pressure that
+follows).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.analysis.runner import (
+    CACHE_SIZE,
+    DRAM_SIZE,
+    HEAP_SIZE,
+    make_monitor,
+)
+from repro.common.constants import CYCLES_PER_SECOND
+from repro.machine.machine import Machine
+from repro.machine.program import Program
+from repro.workloads.registry import get_workload
+
+
+@dataclass
+class HeapProfile:
+    """Samples of live heap bytes over CPU time."""
+
+    workload: str
+    buggy: bool
+    #: (cpu_seconds, live_bytes) samples, one per request.
+    samples: list = field(default_factory=list)
+    swap_outs: int = 0
+
+    @property
+    def final_live_bytes(self):
+        return self.samples[-1][1] if self.samples else 0
+
+    def growth_rate_bytes_per_second(self):
+        """Least-squares slope of live bytes over CPU time."""
+        if len(self.samples) < 2:
+            return 0.0
+        n = len(self.samples)
+        mean_t = sum(t for t, _b in self.samples) / n
+        mean_b = sum(b for _t, b in self.samples) / n
+        num = sum((t - mean_t) * (b - mean_b) for t, b in self.samples)
+        den = sum((t - mean_t) ** 2 for t, _b in self.samples)
+        return num / den if den else 0.0
+
+    def second_half_growth(self):
+        """Live-byte growth across the second half of the run.
+
+        Steady-state servers stay flat once warmed up; continuous
+        leaks keep climbing.
+        """
+        if len(self.samples) < 4:
+            return 0
+        half = len(self.samples) // 2
+        return self.samples[-1][1] - self.samples[half][1]
+
+
+class _SamplingHook:
+    """Wraps a workload's handle_request to sample after each request."""
+
+    def __init__(self, workload, program, profile):
+        self.inner = workload.handle_request
+        self.program = program
+        self.profile = profile
+
+    def __call__(self, program, index, buggy, truth):
+        self.inner(program, index, buggy, truth)
+        machine = program.machine
+        self.profile.samples.append((
+            machine.clock.cycles / CYCLES_PER_SECOND,
+            program.allocator.live_bytes,
+        ))
+
+
+def profile_heap(workload_name, monitor_name="native", buggy=False,
+                 requests=None, seed=0, dram_size=DRAM_SIZE,
+                 heap_size=HEAP_SIZE):
+    """Run a workload and sample its live heap after every request."""
+    machine = Machine(dram_size=dram_size, cache_size=CACHE_SIZE,
+                      cache_ways=16)
+    monitor = make_monitor(monitor_name)
+    program = Program(machine, monitor=monitor, heap_size=heap_size)
+    workload = get_workload(workload_name, requests=requests, seed=seed)
+    profile = HeapProfile(workload=workload_name, buggy=buggy)
+    workload.handle_request = _SamplingHook(workload, program, profile)
+    workload.run(program, buggy=buggy)
+    profile.swap_outs = machine.swap.swap_outs
+    return profile

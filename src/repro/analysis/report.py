@@ -1,0 +1,54 @@
+"""Combined experiment report: every table and figure in one document."""
+
+import io
+import time
+
+from repro.analysis.experiments import (
+    experiment_figure3,
+    experiment_table2,
+    experiment_table3,
+    experiment_table4,
+    experiment_table5,
+)
+
+HEADER = """\
+SafeMem reproduction -- full experiment report
+===============================================
+
+Every table and figure of "SafeMem: Exploiting ECC-Memory for Detecting
+Memory Leaks and Memory Corruption During Production Runs" (HPCA 2005),
+regenerated on the simulated machine.  Reference values/bands appear in
+each table's note line; see EXPERIMENTS.md for the detailed
+paper-vs-measured discussion.
+"""
+
+
+def generate_report(requests=250, stream=None):
+    """Run all experiments and render one combined text report.
+
+    ``requests`` scales the overhead runs (Tables 3 and 4); detection
+    runs (Table 5) always use full-length inputs.  Returns the report
+    string; also writes to ``stream`` if given.
+    """
+    out = io.StringIO()
+    out.write(HEADER)
+    out.write("\n")
+
+    sections = (
+        ("Table 2", lambda: experiment_table2()),
+        ("Table 3", lambda: experiment_table3(requests=requests)),
+        ("Table 4", lambda: experiment_table4(requests=requests)),
+        ("Table 5", lambda: experiment_table5()),
+        ("Figure 3", lambda: experiment_figure3()),
+    )
+    for name, runner in sections:
+        started = time.time()
+        result = runner()
+        elapsed = time.time() - started
+        out.write(result.render())
+        out.write(f"\n[{name} regenerated in {elapsed:.1f}s wall]\n\n")
+
+    report = out.getvalue()
+    if stream is not None:
+        stream.write(report)
+    return report

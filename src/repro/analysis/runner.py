@@ -1,0 +1,117 @@
+"""Experiment runner: drive a workload under a monitor, collect results."""
+
+from dataclasses import dataclass, field
+
+from repro.baselines.pageprot import PageProtGuard
+from repro.baselines.purify import Purify
+from repro.core.config import (
+    corruption_only_config,
+    full_config,
+    leak_only_config,
+)
+from repro.core.safemem import SafeMem
+from repro.machine.machine import Machine
+from repro.machine.monitor import NullMonitor
+from repro.machine.program import Program
+from repro.workloads.registry import get_workload
+
+#: default machine sizing for all experiments (64 MiB "server" with a
+#: 2 MiB last-level cache, so the workloads' buffer working sets fit
+#: regardless of the allocator layout the attached monitor induces).
+DRAM_SIZE = 64 * 1024 * 1024
+HEAP_SIZE = 24 * 1024 * 1024
+CACHE_SIZE = 2 * 1024 * 1024
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (workload, monitor, mode) run."""
+
+    workload: str
+    monitor_name: str
+    buggy: bool
+    cycles: int
+    truth: object
+    monitor: object
+    machine: object
+    program: object = None
+    requests: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def cpu_seconds(self):
+        from repro.common.constants import CYCLES_PER_SECOND
+        return self.cycles / CYCLES_PER_SECOND
+
+
+MONITOR_FACTORIES = {
+    "native": lambda: NullMonitor(),
+    "profiler": lambda: _make_profiler(),
+    "safemem-ml": lambda: SafeMem(leak_only_config()),
+    "safemem-mc": lambda: SafeMem(corruption_only_config()),
+    "safemem": lambda: SafeMem(full_config()),
+    "purify": lambda: Purify(),
+    "pageprot": lambda: PageProtGuard(),
+}
+
+
+def _make_profiler():
+    from repro.core.profiler import LifetimeProfiler
+    return LifetimeProfiler()
+
+
+def make_monitor(name):
+    """Instantiate a monitor by its short experiment name."""
+    try:
+        return MONITOR_FACTORIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown monitor {name!r}; choose from "
+            f"{sorted(MONITOR_FACTORIES)}"
+        ) from None
+
+
+def run_workload(workload_name, monitor_name="native", buggy=False,
+                 requests=None, seed=0, dram_size=DRAM_SIZE,
+                 heap_size=HEAP_SIZE, cache_size=CACHE_SIZE,
+                 monitor=None):
+    """Run one workload under one monitor; return a :class:`RunResult`.
+
+    ``buggy=False`` is the paper's overhead-measurement setting (normal
+    inputs, the bug never fires); ``buggy=True`` is the detection run.
+    Pass ``monitor`` to use a pre-built monitor instance (e.g. a
+    SafeMem with a non-default config); ``monitor_name`` is then only
+    used as the label.
+    """
+    machine = Machine(dram_size=dram_size, cache_size=cache_size,
+                      cache_ways=16)
+    if monitor is None:
+        monitor = make_monitor(monitor_name)
+    program = Program(machine, monitor=monitor, heap_size=heap_size)
+    workload = get_workload(workload_name, requests=requests, seed=seed)
+    truth = workload.run(program, buggy=buggy)
+    return RunResult(
+        workload=workload_name,
+        monitor_name=monitor_name,
+        buggy=buggy,
+        cycles=machine.clock.cycles,
+        truth=truth,
+        monitor=monitor,
+        machine=machine,
+        program=program,
+        requests=workload.requests,
+    )
+
+
+def overhead_percent(monitored_cycles, native_cycles):
+    """Overhead of a monitored run as a percentage over native."""
+    if native_cycles == 0:
+        return 0.0
+    return (monitored_cycles - native_cycles) / native_cycles * 100.0
+
+
+def slowdown_factor(monitored_cycles, native_cycles):
+    """Slowdown of a monitored run as a multiplier over native."""
+    if native_cycles == 0:
+        return 0.0
+    return monitored_cycles / native_cycles

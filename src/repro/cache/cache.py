@@ -1,0 +1,181 @@
+"""Set-associative write-back CPU cache.
+
+The cache matters to SafeMem for one reason (Section 2.2.2, "Dealing
+with Cache Effects"): ECC checks happen only on *memory* reads, so a
+watched line that is still cached would never fault.  ``WatchMemory``
+therefore flushes the watched line; and because a write miss performs a
+line fill (write-allocate), even the first *write* to a watched line
+reaches DRAM and trips the watchpoint.
+
+This model reproduces those mechanics: LRU set-associative lookup,
+write-back of dirty victims, explicit ``clflush``, and line fills that
+go through the ECC controller (and may therefore raise ECC faults).
+"""
+
+from repro.common.constants import CACHE_LINE_SIZE, line_base
+from repro.common.errors import ConfigurationError
+
+
+class _Line:
+    """One resident cache line."""
+
+    __slots__ = ("tag", "data", "dirty", "stamp")
+
+    def __init__(self, tag, data, stamp):
+        self.tag = tag
+        self.data = bytearray(data)
+        self.dirty = False
+        self.stamp = stamp
+
+
+class Cache:
+    """Physically-indexed, physically-tagged write-back cache."""
+
+    def __init__(self, controller, size=64 * 1024, ways=8,
+                 clock=None, cost_model=None):
+        if size % (ways * CACHE_LINE_SIZE):
+            raise ConfigurationError(
+                f"cache size {size} not divisible into {ways}-way sets of "
+                f"{CACHE_LINE_SIZE}-byte lines"
+            )
+        self.controller = controller
+        self.ways = ways
+        self.num_sets = size // (ways * CACHE_LINE_SIZE)
+        self._sets = [dict() for _ in range(self.num_sets)]
+        self._tick = 0
+        self.clock = clock
+        self.cost_model = cost_model
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+        self.flushes = 0
+
+    # ------------------------------------------------------------------
+    # program-visible access path
+    # ------------------------------------------------------------------
+    def load(self, paddr, size):
+        """Read ``size`` bytes at physical address ``paddr``.
+
+        Splits accesses that straddle cache lines.  A miss fills the
+        line through the ECC controller; an armed watchpoint on that
+        line raises :class:`UncorrectableEccError` out of this call.
+        """
+        out = bytearray()
+        for chunk_addr, chunk_size in _chunks(paddr, size):
+            line = self._access_line(chunk_addr, for_write=False)
+            offset = chunk_addr - line_base(chunk_addr)
+            out += line.data[offset:offset + chunk_size]
+        return bytes(out)
+
+    def store(self, paddr, data):
+        """Write bytes at ``paddr`` (write-allocate: misses fill first)."""
+        position = 0
+        for chunk_addr, chunk_size in _chunks(paddr, len(data)):
+            line = self._access_line(chunk_addr, for_write=True)
+            offset = chunk_addr - line_base(chunk_addr)
+            line.data[offset:offset + chunk_size] = (
+                data[position:position + chunk_size]
+            )
+            line.dirty = True
+            position += chunk_size
+
+    # ------------------------------------------------------------------
+    # maintenance operations
+    # ------------------------------------------------------------------
+    def flush_line(self, paddr):
+        """clflush: write back if dirty, then invalidate.
+
+        Used by WatchMemory so the next access must go to DRAM.
+        """
+        base = line_base(paddr)
+        index = self._set_index(base)
+        line = self._sets[index].pop(base, None)
+        self.flushes += 1
+        if line is not None and line.dirty:
+            self.controller.write_line(base, bytes(line.data))
+            self.writebacks += 1
+
+    def flush_all(self):
+        """Write back and invalidate every resident line."""
+        for index, cache_set in enumerate(self._sets):
+            for base, line in list(cache_set.items()):
+                if line.dirty:
+                    self.controller.write_line(base, bytes(line.data))
+                    self.writebacks += 1
+            cache_set.clear()
+
+    def contains(self, paddr):
+        """True when the line holding ``paddr`` is resident."""
+        base = line_base(paddr)
+        return base in self._sets[self._set_index(base)]
+
+    def invalidate_line(self, paddr):
+        """Drop a line without writing it back (test helper)."""
+        base = line_base(paddr)
+        self._sets[self._set_index(base)].pop(base, None)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _access_line(self, paddr, for_write):
+        base = line_base(paddr)
+        index = self._set_index(base)
+        cache_set = self._sets[index]
+        self._tick += 1
+        line = cache_set.get(base)
+        if line is not None:
+            self.hits += 1
+            self._charge_hit()
+            line.stamp = self._tick
+            return line
+
+        self.misses += 1
+        self._charge_hit()
+        self._charge_miss()
+        if len(cache_set) >= self.ways:
+            self._evict_lru(cache_set)
+        # The fill goes through the controller: this is where an armed
+        # watchpoint fires.  If it raises, no line is installed.
+        data = self.controller.read_line(base)
+        line = _Line(base, data, self._tick)
+        cache_set[base] = line
+        return line
+
+    def _evict_lru(self, cache_set):
+        victim_base = min(cache_set, key=lambda b: cache_set[b].stamp)
+        victim = cache_set.pop(victim_base)
+        self.evictions += 1
+        if victim.dirty:
+            self.controller.write_line(victim_base, bytes(victim.data))
+            self.writebacks += 1
+            self._charge_writeback()
+
+    def _set_index(self, line_address):
+        return (line_address // CACHE_LINE_SIZE) % self.num_sets
+
+    def _charge_hit(self):
+        if self.clock is not None and self.cost_model is not None:
+            self.clock.tick(self.cost_model.cache_hit)
+
+    def _charge_miss(self):
+        if self.clock is not None and self.cost_model is not None:
+            self.clock.tick(self.cost_model.cache_miss)
+
+    def _charge_writeback(self):
+        if self.clock is not None and self.cost_model is not None:
+            self.clock.tick(self.cost_model.writeback)
+
+
+def _chunks(address, size):
+    """Split ``[address, address+size)`` at cache-line boundaries."""
+    if size < 0:
+        raise ConfigurationError(f"negative access size: {size}")
+    remaining = size
+    cursor = address
+    while remaining > 0:
+        line_end = line_base(cursor) + CACHE_LINE_SIZE
+        chunk = min(remaining, line_end - cursor)
+        yield cursor, chunk
+        cursor += chunk
+        remaining -= chunk

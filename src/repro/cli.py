@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``table2`` / ``table3`` / ``table4`` / ``table5`` / ``figure3``
+  regenerate one experiment and print the paper-style table;
+- ``report``  runs everything and prints a combined report;
+- ``run``     runs one workload under one monitor and prints a summary;
+- ``list``    shows the available workloads and monitors.
+"""
+
+import argparse
+import sys
+
+from repro.analysis.experiments import (
+    experiment_figure3,
+    experiment_table2,
+    experiment_table3,
+    experiment_table4,
+    experiment_table5,
+)
+from repro.analysis.report import generate_report
+from repro.analysis.runner import (
+    MONITOR_FACTORIES,
+    overhead_percent,
+    run_workload,
+    slowdown_factor,
+)
+from repro.workloads.registry import WORKLOADS, all_workload_names
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SafeMem (HPCA 2005) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for table in ("table2", "table3", "table4", "table5", "figure3"):
+        table_parser = sub.add_parser(
+            table, help=f"regenerate the paper's {table}"
+        )
+        if table in ("table3", "table4"):
+            table_parser.add_argument(
+                "--requests", type=int, default=250,
+                help="requests per overhead run (default 250)",
+            )
+
+    report_parser = sub.add_parser(
+        "report", help="run every experiment, print a combined report"
+    )
+    report_parser.add_argument("--requests", type=int, default=250)
+
+    validate_parser = sub.add_parser(
+        "validate",
+        help="re-verify every reproduction claim (PASS/FAIL matrix)",
+    )
+    validate_parser.add_argument("--requests", type=int, default=250)
+
+    run_parser = sub.add_parser(
+        "run", help="run one workload under one monitor"
+    )
+    run_parser.add_argument("workload", choices=all_workload_names())
+    run_parser.add_argument(
+        "--monitor", default="safemem",
+        choices=sorted(MONITOR_FACTORIES),
+    )
+    run_parser.add_argument("--buggy", action="store_true",
+                            help="use the bug-triggering input")
+    run_parser.add_argument("--requests", type=int, default=None)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--groups", action="store_true",
+        help="print SafeMem diagnostics (object groups, watches)",
+    )
+
+    sub.add_parser("list", help="list workloads and monitors")
+    return parser
+
+
+def command_run(args, out):
+    result = run_workload(args.workload, args.monitor,
+                          buggy=args.buggy, requests=args.requests,
+                          seed=args.seed)
+    out.write(f"workload:  {args.workload} "
+              f"({'buggy' if args.buggy else 'normal'} input)\n")
+    out.write(f"monitor:   {args.monitor}\n")
+    out.write(f"requests:  {result.truth.requests_completed}"
+              f"/{result.requests}\n")
+    out.write(f"CPU:       {result.cycles:,} cycles "
+              f"({result.cpu_seconds:.4f} s simulated)\n")
+
+    stopped_early = result.truth.detection is not None
+    if args.monitor != "native" and not stopped_early:
+        native = run_workload(args.workload, "native",
+                              buggy=args.buggy, requests=args.requests,
+                              seed=args.seed)
+        out.write(
+            f"overhead:  +{overhead_percent(result.cycles, native.cycles):.2f}% "
+            f"({slowdown_factor(result.cycles, native.cycles):.2f}x)\n"
+        )
+
+    truth = result.truth
+    if truth.leaked_addresses:
+        out.write(f"ground truth: {len(truth.leaked_addresses)} objects "
+                  "leaked\n")
+    if truth.corruption:
+        kind, address = truth.corruption
+        out.write(f"ground truth: {kind} at {address:#x}\n")
+
+    monitor = result.monitor
+    if hasattr(monitor, "leak_reports") and monitor.leak_reports:
+        out.write(f"leak reports: {len(monitor.leak_reports)}\n")
+        for report in monitor.leak_reports[:5]:
+            out.write(f"  {report}\n")
+    if hasattr(monitor, "corruption_reports") and \
+            monitor.corruption_reports:
+        out.write(f"corruption reports: "
+                  f"{len(monitor.corruption_reports)}\n")
+        for report in monitor.corruption_reports[:5]:
+            out.write(f"  {report}\n")
+    if truth.detection is not None:
+        out.write(f"stopped at detection: {truth.detection.report}\n")
+
+    if getattr(args, "groups", False) and hasattr(monitor, "watcher"):
+        from repro.core.diagnostics import render_safemem_diagnostics
+        out.write("\n" + render_safemem_diagnostics(monitor) + "\n")
+    return 0
+
+
+def command_list(out):
+    out.write("workloads (paper Table 1):\n")
+    for name, factory in WORKLOADS.items():
+        out.write(f"  {name:<9} {factory.loc:>7,} LOC  "
+                  f"{factory.description:<28} bug={factory.bug}\n")
+    out.write("\nmonitors:\n")
+    for name in sorted(MONITOR_FACTORIES):
+        out.write(f"  {name}\n")
+    return 0
+
+
+def main(argv=None, out=None):
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table2":
+        out.write(experiment_table2().render() + "\n")
+    elif args.command == "table3":
+        out.write(experiment_table3(requests=args.requests).render() + "\n")
+    elif args.command == "table4":
+        out.write(experiment_table4(requests=args.requests).render() + "\n")
+    elif args.command == "table5":
+        out.write(experiment_table5().render() + "\n")
+    elif args.command == "figure3":
+        out.write(experiment_figure3().render() + "\n")
+    elif args.command == "report":
+        generate_report(requests=args.requests, stream=out)
+    elif args.command == "validate":
+        from repro.analysis.claims import render_validation, validate
+        results = validate(requests=args.requests)
+        out.write(render_validation(results) + "\n")
+        return 0 if all(r.passed for r in results) else 1
+    elif args.command == "run":
+        return command_run(args, out)
+    elif args.command == "list":
+        return command_list(out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

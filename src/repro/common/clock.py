@@ -1,0 +1,86 @@
+"""Virtual CPU clock.
+
+The paper's leak detector reasons about *CPU time of the monitored
+program*, explicitly excluding idle/IO wait (Section 3.1).  The
+simulated machine therefore keeps two counters:
+
+- ``cycles``: CPU cycles consumed by the program (and by monitoring
+  work performed on its behalf -- that is exactly what shows up as
+  monitoring *overhead*),
+- ``idle_cycles``: wall-clock time that passed while the program was
+  blocked (between server requests, waiting for IO, ...), which must
+  NOT count toward object lifetimes.
+"""
+
+from repro.common.constants import CYCLES_PER_MICROSECOND, CYCLES_PER_SECOND
+
+
+class VirtualClock:
+    """Cycle-granularity clock with separate busy and idle accounting."""
+
+    def __init__(self):
+        self.cycles = 0
+        self.idle_cycles = 0
+
+    # ------------------------------------------------------------------
+    # advancing time
+    # ------------------------------------------------------------------
+    def tick(self, cycles):
+        """Consume ``cycles`` of CPU time."""
+        if cycles < 0:
+            raise ValueError(f"cannot tick a negative amount: {cycles}")
+        self.cycles += cycles
+
+    def idle(self, cycles):
+        """Let ``cycles`` of wall-clock time pass without CPU work."""
+        if cycles < 0:
+            raise ValueError(f"cannot idle a negative amount: {cycles}")
+        self.idle_cycles += cycles
+
+    # ------------------------------------------------------------------
+    # reading time
+    # ------------------------------------------------------------------
+    @property
+    def cpu_time(self):
+        """CPU time consumed, in cycles.  Lifetimes are measured in this."""
+        return self.cycles
+
+    @property
+    def wall_time(self):
+        """Wall-clock time, in cycles (busy + idle)."""
+        return self.cycles + self.idle_cycles
+
+    @property
+    def cpu_seconds(self):
+        """CPU time in seconds of the simulated 2.4 GHz machine."""
+        return self.cycles / CYCLES_PER_SECOND
+
+    @property
+    def cpu_microseconds(self):
+        """CPU time in microseconds of the simulated machine."""
+        return self.cycles / CYCLES_PER_MICROSECOND
+
+    def snapshot(self):
+        """Return ``(cycles, idle_cycles)`` for later delta computation."""
+        return (self.cycles, self.idle_cycles)
+
+    def __repr__(self):
+        return (
+            f"VirtualClock(cycles={self.cycles}, "
+            f"idle_cycles={self.idle_cycles})"
+        )
+
+
+def cycles_to_microseconds(cycles):
+    """Convert a cycle count to simulated microseconds."""
+    return cycles / CYCLES_PER_MICROSECOND
+
+
+def microseconds_to_cycles(microseconds):
+    """Convert simulated microseconds to cycles."""
+    return int(round(microseconds * CYCLES_PER_MICROSECOND))
+
+
+def seconds_to_cycles(seconds):
+    """Convert simulated seconds to cycles."""
+    return int(round(seconds * CYCLES_PER_SECOND))

@@ -1,0 +1,81 @@
+"""Architectural constants shared by every simulated subsystem.
+
+The values mirror the platform of the SafeMem paper (Section 5.1): a
+2.4 GHz Pentium 4 class machine with an Intel E7500 ECC chipset and
+4 KiB pages.  The cache-line size is 64 bytes, which is both the P4 L2
+line size and the granularity at which main memory (and therefore ECC
+protection) is accessed.  The ratio ``PAGE_SIZE / CACHE_LINE_SIZE = 64``
+is what produces the paper's 64-74x guard-space reduction of
+ECC-protection over page-protection (Table 4).
+"""
+
+#: Bytes per cache line.  ECC watchpoints operate at this granularity
+#: because accesses to main memory happen in cache-line units (Sec 2.2.1).
+CACHE_LINE_SIZE = 64
+
+#: Bytes per virtual-memory page.  Page-protection guards (mprotect) and
+#: the pin/swap machinery operate at this granularity.
+PAGE_SIZE = 4096
+
+#: Cache lines per page.
+LINES_PER_PAGE = PAGE_SIZE // CACHE_LINE_SIZE
+
+#: Bits of data covered by one ECC code word.  The paper's chipset
+#: protects 64 data bits with 8 check bits ("8 bits to protect 64 bits").
+ECC_GROUP_BITS = 64
+
+#: Bytes per ECC group.
+ECC_GROUP_BYTES = ECC_GROUP_BITS // 8
+
+#: Check bits stored alongside each ECC group (SEC-DED over 64 bits).
+ECC_CHECK_BITS = 8
+
+#: ECC groups per cache line.
+GROUPS_PER_LINE = CACHE_LINE_SIZE // ECC_GROUP_BYTES
+
+#: Simulated CPU frequency in cycles per microsecond (2.4 GHz).
+CYCLES_PER_MICROSECOND = 2400
+
+#: Simulated CPU frequency in cycles per second.
+CYCLES_PER_SECOND = CYCLES_PER_MICROSECOND * 1_000_000
+
+#: Number of bits SafeMem flips inside every ECC group of a watched line.
+#: Three bits guarantee a *multi-bit* (uncorrectable) ECC fault -- a
+#: single flipped bit would be silently corrected by the controller and
+#: the watchpoint would never fire (Sec 2.2.2, "Data Scrambling").
+SCRAMBLE_BIT_COUNT = 3
+
+#: The fixed data-bit positions (within each 64-bit ECC group) flipped
+#: by the scrambler.  Fixed positions give scrambled data a recognisable
+#: signature, letting the fault handler distinguish a watchpoint hit
+#: from a genuine hardware error.  The positions are chosen so the three
+#: corresponding SEC-DED codeword positions (3, 13, 65) XOR to 79, an
+#: invalid syndrome -- guaranteeing the decoder classifies the pattern
+#: as an *uncorrectable* multi-bit error rather than mis-correcting it
+#: as a single-bit error (see repro.ecc.codec).
+SCRAMBLE_BIT_POSITIONS = (0, 8, 57)
+
+
+def align_down(value, alignment):
+    """Round ``value`` down to a multiple of ``alignment``."""
+    return value - (value % alignment)
+
+
+def align_up(value, alignment):
+    """Round ``value`` up to a multiple of ``alignment``."""
+    return align_down(value + alignment - 1, alignment)
+
+
+def is_aligned(value, alignment):
+    """Return True when ``value`` is a multiple of ``alignment``."""
+    return value % alignment == 0
+
+
+def line_base(address):
+    """Return the base address of the cache line containing ``address``."""
+    return align_down(address, CACHE_LINE_SIZE)
+
+
+def page_base(address):
+    """Return the base address of the page containing ``address``."""
+    return align_down(address, PAGE_SIZE)

@@ -1,0 +1,167 @@
+"""Cycle-cost model for the simulated machine and the monitoring tools.
+
+Every interesting operation in the simulation charges cycles to the
+program's :class:`~repro.common.clock.VirtualClock`.  Overhead numbers
+(Table 3 of the paper) then fall out of *operation counts*, which is the
+property the paper's evaluation actually depends on: SafeMem pays
+per-allocation costs while Purify pays per-memory-access costs plus
+periodic mark-and-sweep passes.
+
+The default values are calibrated so that the three system calls land on
+the paper's Table 2 microbenchmark numbers (WatchMemory 2.0 us,
+DisableWatchMemory 1.5 us, mprotect 1.02 us) from their *components*
+(trap, pin, per-line scramble/flush), not by hard-coding totals.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.constants import CYCLES_PER_MICROSECOND
+
+
+@dataclass
+class CostModel:
+    """Cycle costs charged by the simulated machine.
+
+    All fields are plain cycle counts so tests can construct cheap or
+    degenerate models (for example, zero-cost models for functional
+    tests that only care about behaviour).
+    """
+
+    # -- CPU core ------------------------------------------------------
+    #: one simulated ALU instruction (Program.compute charges this each).
+    instruction: int = 1
+
+    # -- memory hierarchy ----------------------------------------------
+    #: load/store that hits in the cache.
+    cache_hit: int = 2
+    #: additional penalty for a miss serviced from DRAM (incl. ECC check).
+    cache_miss: int = 100
+    #: write-back of a dirty victim line.
+    writeback: int = 30
+    #: explicit cache-line flush instruction (clflush).
+    flush_line: int = 100
+
+    # -- kernel entry/exit ---------------------------------------------
+    #: user->kernel->user trap overhead common to every syscall.
+    syscall_trap: int = 900
+    #: pinning or unpinning one page in the VM system.
+    pin_page: int = 500
+    #: updating one page-table entry's protection bits + TLB shootdown.
+    protect_page: int = 1550
+    #: delivering an interrupt/fault to a user-level handler and back.
+    fault_delivery: int = 2400
+
+    # -- ECC controller manipulation ------------------------------------
+    #: disable-ECC / enable-ECC window incl. bus lock per WatchMemory.
+    #: Dominated by the serialising chipset register writes, so it is a
+    #: per-call cost; the per-line work (scramble + flush) is cheap.
+    ecc_toggle: int = 3200
+    #: scrambling the groups of one cache line (ECC disabled).
+    scramble_line: int = 100
+    #: fixed part of DisableWatchMemory beyond trap + unpin (validating
+    #: the region, cache maintenance setup).
+    restore_fixed: int = 2100
+    #: restoring one line's original data with ECC enabled (normal write
+    #: path that recomputes and stores a fresh code).
+    restore_line: int = 100
+    #: scrub one cache line during a scrub pass.
+    scrub_line: int = 20
+
+    # -- allocator -------------------------------------------------------
+    #: bookkeeping of one malloc/free in the simulated allocator.
+    heap_op: int = 120
+
+    # -- Purify-style instrumentation ------------------------------------
+    #: shadow-memory lookup + status check on every load/store.  Purify
+    #: instruments object code, so even cache hits pay this.
+    purify_access_check: int = 30
+    #: additional per-byte cost of an access check: the 2-bit status of
+    #: every byte touched must be inspected (and, on stores, updated).
+    #: Bulk copies become instrumented byte loops, which is what makes
+    #: Purify catastrophic on copy-heavy servers (the paper's 49.3x).
+    purify_access_check_per_byte: int = 20
+    #: maintaining 2 status bits at allocation/free, per byte touched.
+    purify_shadow_update_per_byte: int = 1
+    #: mark-and-sweep: visiting one heap word during the sweep.
+    purify_sweep_per_word: int = 6
+    #: base cost of starting a mark-and-sweep pass.
+    purify_sweep_base: int = 40_000
+    #: dilation multiplier on plain computation from link-time
+    #: instrumentation (function wrapping, register pressure).  Expressed
+    #: in percent added to every ``instruction`` cycle.  380% -> 4.8x,
+    #: the paper's observed Purify floor.
+    purify_compute_dilation_pct: int = 380
+
+    # -- SafeMem bookkeeping ----------------------------------------------
+    #: group-table update at one malloc/free (hash + list splice).
+    safemem_alloc_update: int = 90
+    #: one step of the periodic outlier scan (per group examined).
+    safemem_scan_per_group: int = 25
+    #: recomputing the scramble signature in the user-level fault handler.
+    safemem_handler_check: int = 300
+
+    # ------------------------------------------------------------------
+    # component sums for the paper's Table 2 operations
+    # ------------------------------------------------------------------
+    def watch_memory_cost(self, line_count):
+        """Cost of the WatchMemory(addr, size) syscall.
+
+        trap + pin + ECC disable/enable window + per-line scramble and
+        flush.  With the default model and one line this is ~2.0 us.
+        """
+        return (
+            self.syscall_trap
+            + self.pin_page
+            + self.ecc_toggle
+            + line_count * (self.scramble_line + self.flush_line)
+        )
+
+    def disable_watch_cost(self, line_count):
+        """Cost of DisableWatchMemory(addr): trap + unpin + restore write.
+
+        With the default model and one line this is ~1.5 us.
+        """
+        return (
+            self.syscall_trap
+            + self.pin_page
+            + self.restore_fixed
+            + line_count * self.restore_line
+        )
+
+    def mprotect_cost(self, page_count):
+        """Cost of mprotect over ``page_count`` pages (~1.02 us for one)."""
+        return self.syscall_trap + page_count * self.protect_page
+
+    def purify_instruction_cost(self):
+        """Per-instruction cost under Purify's link-time instrumentation.
+
+        Returned as a float (4.8 with the defaults); Program.compute
+        rounds the total, so fractional dilation is preserved over long
+        computations.
+        """
+        return self.instruction * (100 + self.purify_compute_dilation_pct) \
+            / 100.0
+
+
+def default_cost_model():
+    """Return the calibrated default :class:`CostModel`."""
+    return CostModel()
+
+
+def zero_cost_model():
+    """Return a model where everything is free.
+
+    Useful in unit tests that assert on behaviour (faults raised, bugs
+    detected) without caring about timing.
+    """
+    fields = {
+        name: 0
+        for name, value in CostModel().__dict__.items()
+        if isinstance(value, int)
+    }
+    return CostModel(**fields)
+
+
+def microseconds(cycles):
+    """Convert cycles to microseconds (float) for reporting."""
+    return cycles / CYCLES_PER_MICROSECOND

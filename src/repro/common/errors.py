@@ -1,0 +1,89 @@
+"""Exception hierarchy for the simulated machine and the SafeMem tool."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class MachineError(ReproError):
+    """Base class for errors raised by the simulated hardware/OS."""
+
+
+class MachinePanic(MachineError):
+    """The simulated kernel entered panic mode.
+
+    This mirrors the paper's observation that stock Linux/Windows handle
+    an unclaimed multi-bit ECC error by panicking (Section 2.1).
+    """
+
+
+class BusError(MachineError):
+    """A physical access fell outside of installed DRAM."""
+
+
+class PageFault(MachineError):
+    """A virtual access touched an unmapped page."""
+
+    def __init__(self, vaddr, message=None):
+        super().__init__(message or f"page fault at {vaddr:#x}")
+        self.vaddr = vaddr
+
+
+class ProtectionFault(MachineError):
+    """A virtual access violated the page protection bits.
+
+    This is the fault the page-protection baseline (mprotect guards)
+    relies on, analogous to SIGSEGV delivery.
+    """
+
+    def __init__(self, vaddr, access, message=None):
+        super().__init__(
+            message or f"protection fault ({access}) at {vaddr:#x}"
+        )
+        self.vaddr = vaddr
+        self.access = access
+
+
+class SyscallError(MachineError):
+    """A simulated system call was invoked with invalid arguments."""
+
+
+class PinLimitExceeded(SyscallError):
+    """Pinning a page would exceed the kernel's pinned-memory budget.
+
+    The paper notes that pinning watched pages "limits the total amount
+    of monitored memory" (Section 2.2.2, "Dealing with Page Swapping").
+    """
+
+
+class HeapError(ReproError):
+    """Base class for allocator misuse detected by the simulated heap."""
+
+
+class OutOfMemory(HeapError):
+    """The allocator could not satisfy a request."""
+
+
+class InvalidFree(HeapError):
+    """free() was called on an address that is not a live allocation."""
+
+
+class DoubleFree(InvalidFree):
+    """free() was called twice on the same allocation."""
+
+
+class MonitorError(ReproError):
+    """A dynamic monitoring tool detected a bug and stopped the program.
+
+    SafeMem "pauses program execution to allow programmers to attach an
+    interactive debugger" on the first corruption fault (Section 2.2.1);
+    raising an exception is our simulation of that pause.
+    """
+
+    def __init__(self, report):
+        super().__init__(str(report))
+        self.report = report

@@ -1,0 +1,95 @@
+"""Structured event log shared by the machine and the monitoring tools.
+
+Components append :class:`Event` records to a single :class:`EventLog`
+owned by the machine.  Experiments and tests query the log instead of
+scraping stdout, which keeps the harness deterministic.
+"""
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class EventKind(Enum):
+    """Categories of events the simulation records."""
+
+    ALLOC = "alloc"
+    FREE = "free"
+    ECC_FAULT = "ecc_fault"
+    ECC_CORRECTED = "ecc_corrected"
+    WATCH = "watch"
+    UNWATCH = "unwatch"
+    SCRUB = "scrub"
+    PAGE_SWAP_OUT = "page_swap_out"
+    PAGE_SWAP_IN = "page_swap_in"
+    PROTECTION_FAULT = "protection_fault"
+    LEAK_SUSPECT = "leak_suspect"
+    LEAK_REPORT = "leak_report"
+    LEAK_PRUNED = "leak_pruned"
+    CORRUPTION_REPORT = "corruption_report"
+    PANIC = "panic"
+    SYSCALL = "syscall"
+
+
+@dataclass
+class Event:
+    """One timestamped record in the event log."""
+
+    kind: EventKind
+    cycle: int
+    address: int = 0
+    size: int = 0
+    detail: dict = field(default_factory=dict)
+
+    def __str__(self):
+        extras = "".join(f" {k}={v}" for k, v in self.detail.items())
+        return (
+            f"[{self.cycle:>12}] {self.kind.value:<18}"
+            f" addr={self.address:#010x} size={self.size}{extras}"
+        )
+
+
+class EventLog:
+    """Append-only log of simulation events with simple query helpers."""
+
+    def __init__(self, clock):
+        self._clock = clock
+        self._events = []
+
+    def emit(self, kind, address=0, size=0, **detail):
+        """Append an event stamped with the current CPU cycle."""
+        event = Event(
+            kind=kind,
+            cycle=self._clock.cycles,
+            address=address,
+            size=size,
+            detail=detail,
+        )
+        self._events.append(event)
+        return event
+
+    def __len__(self):
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def of_kind(self, kind):
+        """Return all events of the given :class:`EventKind`."""
+        return [event for event in self._events if event.kind is kind]
+
+    def count(self, kind):
+        """Return how many events of ``kind`` were recorded."""
+        return sum(1 for event in self._events if event.kind is kind)
+
+    def last(self, kind=None):
+        """Return the most recent event, optionally filtered by kind."""
+        if kind is None:
+            return self._events[-1] if self._events else None
+        for event in reversed(self._events):
+            if event.kind is kind:
+                return event
+        return None
+
+    def clear(self):
+        """Drop all recorded events."""
+        self._events.clear()

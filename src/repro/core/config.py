@@ -1,0 +1,134 @@
+"""SafeMem configuration: detection thresholds and feature switches.
+
+All time-valued parameters are in *CPU seconds* of the monitored
+program (the paper measures lifetimes in the program's CPU time,
+Section 3.1); they are converted to cycles once at attach time.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.clock import seconds_to_cycles
+from repro.common.errors import ConfigurationError
+
+
+@dataclass
+class SafeMemConfig:
+    """Tunable knobs of the SafeMem tool (paper Sections 3-4)."""
+
+    # -- feature switches ----------------------------------------------
+    #: enable the memory-leak detector (Section 3).
+    detect_leaks: bool = True
+    #: enable the memory-corruption detector (Section 4).
+    detect_corruption: bool = True
+    #: enable the uninitialized-read extension the paper sketches at the
+    #: end of Section 4 (watch fresh buffers; first write disarms, first
+    #: read reports).
+    detect_uninit_reads: bool = False
+
+    # -- leak detection -------------------------------------------------
+    #: minimum CPU time between outlier-detection scans (the paper's
+    #: "checking-period"); scans only ever run at malloc/free time.
+    checking_period_s: float = 0.005
+    #: CPU time before the first scan ("triggered after a warm-up
+    #: period", Section 3.2.2).
+    warmup_s: float = 0.01
+    #: live-object count above which a never-freeing group becomes an
+    #: ALeak candidate.
+    aleak_live_threshold: int = 64
+    #: "the last allocation time is very recent": a group only counts as
+    #: actively growing if it allocated within this window.
+    aleak_recent_window_s: float = 0.01
+    #: an object becomes an SLeak suspect once it is alive for more than
+    #: this multiple of the group's expected maximal lifetime (paper: 2).
+    sleak_lifetime_multiplier: float = 2.0
+    #: ... and only if the group's maximal lifetime has been stable for
+    #: at least this long (low confidence otherwise, Section 3.2.2).
+    sleak_stable_time_s: float = 0.005
+    #: deallocations within (1 + tolerance) * max_lifetime do not reset
+    #: the stability clock ("within some tolerable range").
+    lifetime_tolerance: float = 0.25
+    #: a watched suspect untouched for this long is reported as a leak.
+    leak_confirm_s: float = 0.02
+    #: only the "top few oldest" objects per group are examined/watched.
+    max_suspects_per_group: int = 16
+    #: cap on concurrently ECC-watched leak suspects (pin budget guard).
+    max_watched_suspects: int = 128
+    #: how objects are grouped: "size_callsig" (the paper's choice),
+    #: "size" (merge across call sites), or "callsig" (merge across
+    #: sizes).  Exposed for the grouping-key ablation.
+    grouping: str = "size_callsig"
+
+    # -- corruption detection ---------------------------------------------
+    #: guard lines on each side of every buffer (paper uses one line).
+    pad_lines: int = 1
+    #: freed buffers stay quarantined (and watched) until this many bytes
+    #: accumulate, then the oldest are recycled, mirroring the paper's
+    #: "until the buffer is reallocated" window.
+    freed_quarantine_bytes: int = 512 * 1024
+
+    def validate(self):
+        """Raise :class:`ConfigurationError` on nonsensical settings."""
+        if not (self.detect_leaks or self.detect_corruption
+                or self.detect_uninit_reads):
+            raise ConfigurationError("SafeMem with every detector disabled")
+        if self.checking_period_s <= 0:
+            raise ConfigurationError("checking_period_s must be positive")
+        if self.sleak_lifetime_multiplier <= 1.0:
+            raise ConfigurationError(
+                "sleak_lifetime_multiplier must exceed 1.0"
+            )
+        if self.pad_lines < 1:
+            raise ConfigurationError("pad_lines must be at least 1")
+        if self.lifetime_tolerance < 0:
+            raise ConfigurationError("lifetime_tolerance must be >= 0")
+        if self.max_suspects_per_group < 1:
+            raise ConfigurationError("max_suspects_per_group must be >= 1")
+        if self.grouping not in ("size_callsig", "size", "callsig"):
+            raise ConfigurationError(
+                f"unknown grouping mode: {self.grouping!r}"
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    # cycle-domain views (computed once at attach)
+    # ------------------------------------------------------------------
+    @property
+    def checking_period_cycles(self):
+        return seconds_to_cycles(self.checking_period_s)
+
+    @property
+    def warmup_cycles(self):
+        return seconds_to_cycles(self.warmup_s)
+
+    @property
+    def aleak_recent_window_cycles(self):
+        return seconds_to_cycles(self.aleak_recent_window_s)
+
+    @property
+    def sleak_stable_time_cycles(self):
+        return seconds_to_cycles(self.sleak_stable_time_s)
+
+    @property
+    def leak_confirm_cycles(self):
+        return seconds_to_cycles(self.leak_confirm_s)
+
+
+def leak_only_config(**overrides):
+    """Config with only the leak detector enabled (Table 3's "Only ML")."""
+    return SafeMemConfig(
+        detect_leaks=True, detect_corruption=False, **overrides
+    ).validate()
+
+
+def corruption_only_config(**overrides):
+    """Config with only corruption detection (Table 3's "Only MC")."""
+    return SafeMemConfig(
+        detect_leaks=False, detect_corruption=True, **overrides
+    ).validate()
+
+
+def full_config(**overrides):
+    """Both detectors on, as in the paper's headline "ML + MC" runs."""
+    return SafeMemConfig(
+        detect_leaks=True, detect_corruption=True, **overrides
+    ).validate()

@@ -1,0 +1,232 @@
+"""Memory-corruption detection (paper Section 4).
+
+Buffer overflow: every allocation is laid out as
+
+    [guard line(s)] [cache-line-aligned user buffer] [guard line(s)]
+
+and the guard lines carry ECC watchpoints.  The first access to a guard
+is, by construction, a bug; SafeMem "pauses program execution" -- here,
+raises :class:`MonitorError` carrying the report.
+
+Access to freed memory: a freed buffer is quarantined and its user
+region stays watched until the quarantine recycles it (the paper's
+"until the buffer is reallocated" window).
+
+Uninitialized reads (the Section 4 extension): each fresh buffer line
+is watched; the first *write* silently disarms that line, the first
+*read* is reported.
+"""
+
+from collections import deque
+
+from repro.common.constants import CACHE_LINE_SIZE, align_up
+from repro.common.errors import InvalidFree, MonitorError
+from repro.common.events import EventKind
+from repro.core.reports import CorruptionKind, CorruptionReport
+from repro.core.watcher import WatchTag
+
+
+class BufferLayout:
+    """Guarded layout of one allocation."""
+
+    __slots__ = ("block_address", "block_size", "user_address",
+                 "user_size", "user_span", "pad_bytes",
+                 "left_watch", "right_watch", "uninit_watches")
+
+    def __init__(self, block_address, block_size, user_address, user_size,
+                 user_span, pad_bytes):
+        self.block_address = block_address
+        self.block_size = block_size
+        self.user_address = user_address
+        self.user_size = user_size
+        self.user_span = user_span
+        self.pad_bytes = pad_bytes
+        self.left_watch = None
+        self.right_watch = None
+        self.uninit_watches = []
+
+    @property
+    def waste_bytes(self):
+        """Padding + alignment bytes this layout spends on monitoring."""
+        return self.block_size - self.user_size
+
+
+class CorruptionDetector:
+    """Guards allocations with ECC watchpoints; reports true positives."""
+
+    def __init__(self, program, watcher, config, event_log):
+        self.program = program
+        self.allocator = program.allocator
+        self.watcher = watcher
+        self.config = config
+        self.events = event_log
+        self.reports = []
+        self._layouts = {}
+        self._quarantine = deque()
+        self._quarantine_bytes = 0
+        #: cumulative space accounting for Table 4.
+        self.requested_bytes = 0
+        self.monitor_waste_bytes = 0
+
+    # ------------------------------------------------------------------
+    # allocation path
+    # ------------------------------------------------------------------
+    def allocate(self, size, call_signature):
+        """Guarded malloc.  Returns the user address."""
+        pad = self.config.pad_lines * CACHE_LINE_SIZE
+        user_span = align_up(size, CACHE_LINE_SIZE)
+        block_size = pad + user_span + pad
+        block = self.allocator.malloc(block_size,
+                                      alignment=CACHE_LINE_SIZE)
+        user = block + pad
+        layout = BufferLayout(
+            block_address=block,
+            block_size=block_size,
+            user_address=user,
+            user_size=size,
+            user_span=user_span,
+            pad_bytes=pad,
+        )
+        layout.left_watch = self.watcher.watch(
+            block, pad, WatchTag.PAD, self._on_guard_hit,
+            payload={"layout": layout, "side": "left"},
+        )
+        layout.right_watch = self.watcher.watch(
+            user + user_span, pad, WatchTag.PAD, self._on_guard_hit,
+            payload={"layout": layout, "side": "right"},
+        )
+        if self.config.detect_uninit_reads:
+            self._arm_uninit(layout)
+        self._layouts[user] = layout
+        self.requested_bytes += size
+        self.monitor_waste_bytes += layout.waste_bytes
+        return user
+
+    def release(self, user_address):
+        """Guarded free: disarm guards, quarantine + watch the buffer."""
+        layout = self._layouts.pop(user_address, None)
+        if layout is None:
+            raise InvalidFree(
+                f"free of address {user_address:#x} not returned by malloc"
+            )
+        for watch in (layout.left_watch, layout.right_watch):
+            if watch is not None:
+                self.watcher.unwatch(watch)
+        self._disarm_uninit(layout)
+        freed_watch = self.watcher.watch(
+            layout.user_address, layout.user_span, WatchTag.FREED,
+            self._on_freed_hit, payload={"layout": layout},
+        )
+        self._quarantine.append((layout, freed_watch))
+        self._quarantine_bytes += layout.block_size
+        self._drain_quarantine()
+
+    def owns(self, user_address):
+        return user_address in self._layouts
+
+    def layout_of(self, user_address):
+        return self._layouts.get(user_address)
+
+    def live_layouts(self):
+        return list(self._layouts.values())
+
+    # ------------------------------------------------------------------
+    # fault callbacks
+    # ------------------------------------------------------------------
+    def _on_guard_hit(self, watch, info):
+        layout = watch.payload["layout"]
+        report = CorruptionReport(
+            kind=CorruptionKind.BUFFER_OVERFLOW,
+            access_address=info.vaddr,
+            access_type=info.access,
+            buffer_address=layout.user_address,
+            buffer_size=layout.user_size,
+            detected_at_cycle=self.program.machine.clock.cycles,
+            detail={"side": watch.payload["side"]},
+        )
+        self._report(report)
+        return True  # unreachable: _report raises
+
+    def _on_freed_hit(self, watch, info):
+        layout = watch.payload["layout"]
+        report = CorruptionReport(
+            kind=CorruptionKind.USE_AFTER_FREE,
+            access_address=info.vaddr,
+            access_type=info.access,
+            buffer_address=layout.user_address,
+            buffer_size=layout.user_size,
+            detected_at_cycle=self.program.machine.clock.cycles,
+        )
+        self._report(report)
+        return True
+
+    def _on_uninit_hit(self, watch, info):
+        layout = watch.payload["layout"]
+        if info.access == "write":
+            # First write: legitimate initialisation.  Disarm this line
+            # and let the store resume.
+            self.watcher.unwatch(watch)
+            layout.uninit_watches.remove(watch)
+            return True
+        report = CorruptionReport(
+            kind=CorruptionKind.UNINITIALIZED_READ,
+            access_address=info.vaddr,
+            access_type=info.access,
+            buffer_address=layout.user_address,
+            buffer_size=layout.user_size,
+            detected_at_cycle=self.program.machine.clock.cycles,
+        )
+        self._report(report)
+        return True
+
+    def _report(self, report):
+        self.reports.append(report)
+        self.events.emit(
+            EventKind.CORRUPTION_REPORT,
+            address=report.access_address,
+            size=report.buffer_size,
+            bug=report.kind.value,
+        )
+        # "SafeMem then simply pauses program execution to allow
+        # programmers to attach an interactive debugger" (Sec 2.2.1).
+        raise MonitorError(report)
+
+    # ------------------------------------------------------------------
+    # uninitialized-read watches (per line, so writes disarm lazily)
+    # ------------------------------------------------------------------
+    def _arm_uninit(self, layout):
+        for vline in range(layout.user_address,
+                           layout.user_address + layout.user_span,
+                           CACHE_LINE_SIZE):
+            watch = self.watcher.watch(
+                vline, CACHE_LINE_SIZE, WatchTag.UNINIT,
+                self._on_uninit_hit, payload={"layout": layout},
+            )
+            if watch is not None:
+                layout.uninit_watches.append(watch)
+
+    def _disarm_uninit(self, layout):
+        for watch in list(layout.uninit_watches):
+            self.watcher.unwatch(watch)
+        layout.uninit_watches.clear()
+
+    # ------------------------------------------------------------------
+    # quarantine of freed buffers
+    # ------------------------------------------------------------------
+    def _drain_quarantine(self, drain_all=False):
+        limit = 0 if drain_all else self.config.freed_quarantine_bytes
+        while self._quarantine and self._quarantine_bytes > limit:
+            layout, freed_watch = self._quarantine.popleft()
+            if freed_watch is not None:
+                self.watcher.unwatch(freed_watch)
+            self.allocator.free(layout.block_address)
+            self._quarantine_bytes -= layout.block_size
+
+    def on_exit(self):
+        """Disarm everything and return quarantined blocks to the heap."""
+        self._drain_quarantine(drain_all=True)
+        for layout in self.live_layouts():
+            for watch in (layout.left_watch, layout.right_watch):
+                if watch is not None:
+                    self.watcher.unwatch(watch)
+            self._disarm_uninit(layout)

@@ -1,0 +1,83 @@
+"""Operator-facing diagnostics for a running SafeMem instance.
+
+Production tools need introspection: what groups exist, what their
+lifetime statistics look like, what is currently watched.  The CLI's
+``run --groups`` flag renders these tables.
+"""
+
+from repro.analysis.tables import render_table
+from repro.common.constants import CYCLES_PER_SECOND
+
+
+def group_summary_rows(leak_detector, limit=None):
+    """Per-group statistics rows, largest live footprint first."""
+    groups = sorted(
+        leak_detector.groups,
+        key=lambda g: g.live_bytes,
+        reverse=True,
+    )
+    if limit is not None:
+        groups = groups[:limit]
+    rows = []
+    for group in groups:
+        rows.append((
+            f"{group.size}B",
+            f"{group.call_signature:#010x}",
+            group.live_count,
+            f"{group.live_bytes:,}",
+            group.total_allocated,
+            group.total_freed,
+            f"{group.max_lifetime / CYCLES_PER_SECOND * 1000:.2f}ms",
+            f"{group.stable_time / CYCLES_PER_SECOND * 1000:.2f}ms",
+        ))
+    return rows
+
+
+def render_group_summary(leak_detector, limit=20):
+    """A paper-terminology table of the detector's object groups."""
+    rows = group_summary_rows(leak_detector, limit=limit)
+    return render_table(
+        f"Memory object groups ({len(leak_detector.groups)} total, "
+        f"top {len(rows)} by live bytes)",
+        ["size", "callsig", "live", "live bytes", "allocs", "frees",
+         "max lifetime", "stable for"],
+        rows,
+    )
+
+
+def watch_summary_rows(watcher):
+    """Currently armed watchpoints."""
+    rows = []
+    for watch in watcher.active_watches():
+        rows.append((
+            f"{watch.vaddr:#010x}",
+            watch.size,
+            watch.tag.value,
+            watch.started_cycle,
+        ))
+    return rows
+
+
+def render_watch_summary(watcher):
+    rows = watch_summary_rows(watcher)
+    return render_table(
+        f"Active ECC watchpoints ({len(rows)})",
+        ["address", "bytes", "tag", "armed at cycle"],
+        rows,
+    )
+
+
+def render_safemem_diagnostics(safemem, group_limit=20):
+    """Everything an operator would want after (or during) a run."""
+    sections = []
+    if safemem.leak is not None:
+        sections.append(render_group_summary(safemem.leak,
+                                             limit=group_limit))
+    sections.append(render_watch_summary(safemem.watcher))
+    stats = safemem.statistics()
+    sections.append(render_table(
+        "SafeMem counters",
+        ["counter", "value"],
+        sorted((k, v) for k, v in stats.items()),
+    ))
+    return "\n\n".join(sections)

@@ -1,0 +1,55 @@
+"""Lifetime profiler: group statistics without any detection.
+
+This is the instrument behind the paper's Figure 3 study (Section 3.1):
+it observes allocation/deallocation behaviour and records, per memory
+object group, when the maximal lifetime stabilized -- without arming
+watchpoints or flagging suspects, so the statistics are unperturbed.
+"""
+
+from repro.common.constants import CYCLES_PER_SECOND
+from repro.core.groups import GroupTable
+from repro.machine.monitor import Monitor
+
+
+class LifetimeProfiler(Monitor):
+    """Pass-through monitor that only collects group lifetime stats."""
+
+    name = "lifetime-profiler"
+
+    def __init__(self, tolerance=0.25):
+        super().__init__()
+        self.groups = GroupTable(tolerance=tolerance)
+
+    def malloc(self, size, call_signature):
+        address = self.program.allocator.malloc(size)
+        self.groups.on_alloc(address, size, call_signature,
+                             self.program.machine.clock.cycles)
+        return address
+
+    def free(self, address):
+        self.groups.on_free(address, self.program.machine.clock.cycles)
+        self.program.allocator.free(address)
+
+    def realloc(self, address, new_size, call_signature):
+        if address is None:
+            return self.malloc(new_size, call_signature)
+        self.groups.on_free(address, self.program.machine.clock.cycles)
+        new_address = self.program.allocator.realloc(address, new_size)
+        self.groups.on_alloc(new_address, new_size, call_signature,
+                             self.program.machine.clock.cycles)
+        return new_address
+
+    # ------------------------------------------------------------------
+    # Figure 3 statistics
+    # ------------------------------------------------------------------
+    def warmup_times_seconds(self, min_frees=3):
+        """Per-group WarmUpTime: when its maximal lifetime last grew.
+
+        Only groups with at least ``min_frees`` deallocations have a
+        meaningful maximal lifetime.
+        """
+        return sorted(
+            group.last_max_update_cycle / CYCLES_PER_SECOND
+            for group in self.groups
+            if group.total_freed >= min_frees
+        )

@@ -1,0 +1,79 @@
+"""Bug reports produced by SafeMem (and by the baselines)."""
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class CorruptionKind(Enum):
+    """The corruption classes SafeMem detects (Section 4)."""
+
+    BUFFER_OVERFLOW = "buffer_overflow"
+    USE_AFTER_FREE = "use_after_free"
+    UNINITIALIZED_READ = "uninitialized_read"
+
+
+@dataclass
+class CorruptionReport:
+    """An illegal access caught by a guard watchpoint.
+
+    SafeMem has *zero* false positives here by construction: "any
+    accesses to padding areas or freed memory buffers are true memory
+    corruption" (Section 6.4).
+    """
+
+    kind: CorruptionKind
+    access_address: int
+    access_type: str
+    buffer_address: int
+    buffer_size: int
+    detected_at_cycle: int
+    detail: dict = field(default_factory=dict)
+
+    def __str__(self):
+        return (
+            f"[SafeMem] {self.kind.value}: {self.access_type} of "
+            f"{self.access_address:#010x} hit guard of buffer "
+            f"{self.buffer_address:#010x} (size {self.buffer_size}) "
+            f"at cycle {self.detected_at_cycle}"
+        )
+
+
+@dataclass
+class LeakReport:
+    """A continuous-leak report: a suspect that stayed untouched."""
+
+    object_address: int
+    object_size: int
+    group_size: int
+    call_signature: int
+    kind: str  # "aleak" or "sleak"
+    allocated_at_cycle: int
+    reported_at_cycle: int
+
+    def __str__(self):
+        return (
+            f"[SafeMem] memory leak ({self.kind}): object "
+            f"{self.object_address:#010x} of size {self.object_size} "
+            f"(group size={self.group_size}, "
+            f"callsig={self.call_signature:#010x}) allocated at cycle "
+            f"{self.allocated_at_cycle}, reported at cycle "
+            f"{self.reported_at_cycle}"
+        )
+
+
+@dataclass
+class PrunedSuspect:
+    """A suspect that was accessed again -- a pruned false positive."""
+
+    object_address: int
+    group_size: int
+    call_signature: int
+    kind: str
+    watched_for_cycles: int
+
+    def __str__(self):
+        return (
+            f"[SafeMem] pruned false positive ({self.kind}): "
+            f"{self.object_address:#010x} touched after "
+            f"{self.watched_for_cycles} watched cycles"
+        )

@@ -1,0 +1,178 @@
+"""User-level ECC watch manager.
+
+This is SafeMem's private library layer over the three kernel calls
+(Section 2.2): it saves the original contents of every watched region
+in SafeMem's private memory, owns the single registered ECC fault
+handler, and -- on each fault -- performs the paper's discrimination
+step: recompute the scrambled value from the saved original and compare
+it with what is actually in memory.  A match means *access fault*
+(watchpoint hit, dispatched to the owner's callback); a mismatch means
+a *genuine hardware error*.
+
+For hardware errors inside watched regions the paper observes that the
+stored data "is not critical" because SafeMem holds the original copy;
+we follow its suggestion and transparently repair the line from the
+saved original instead of panicking.
+"""
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.common.constants import CACHE_LINE_SIZE
+from repro.common.errors import PinLimitExceeded, SyscallError
+from repro.kernel.kernel import scramble_bytes
+
+
+class WatchTag(Enum):
+    """Why a region is being watched."""
+
+    LEAK_SUSPECT = "leak_suspect"
+    PAD = "pad"
+    FREED = "freed"
+    UNINIT = "uninit"
+
+
+@dataclass
+class Watch:
+    """One armed region plus its saved original contents."""
+
+    vaddr: int
+    size: int
+    tag: WatchTag
+    original: bytes
+    on_hit: object
+    started_cycle: int
+    payload: dict = field(default_factory=dict)
+
+    def line_bases(self):
+        return range(self.vaddr, self.vaddr + self.size, CACHE_LINE_SIZE)
+
+    def original_line(self, vline):
+        offset = vline - self.vaddr
+        return self.original[offset:offset + CACHE_LINE_SIZE]
+
+
+class EccWatchManager:
+    """All of SafeMem's active watchpoints, indexed by cache line."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.kernel = machine.kernel
+        self._by_region = {}
+        self._by_line = {}
+        self.arm_count = 0
+        self.disarm_count = 0
+        self.pin_failures = 0
+        self.hardware_errors_repaired = 0
+        self.unclaimed_faults = 0
+        self._suspended = []
+        self.kernel.register_ecc_fault_handler(self._handle_fault)
+        self.kernel.add_scrub_listener(pre=self.suspend_all,
+                                       post=self.resume_all)
+
+    # ------------------------------------------------------------------
+    # arming / disarming
+    # ------------------------------------------------------------------
+    def watch(self, vaddr, size, tag, on_hit, payload=None):
+        """Arm a watchpoint.  Returns the Watch, or ``None`` when the
+        kernel refused (pin budget, overlap) -- monitoring degrades
+        gracefully rather than breaking the program."""
+        original = self.machine.read_virtual_raw(vaddr, size)
+        try:
+            self.kernel.watch_memory(vaddr, size)
+        except PinLimitExceeded:
+            self.pin_failures += 1
+            return None
+        except SyscallError:
+            return None
+        watch = Watch(
+            vaddr=vaddr,
+            size=size,
+            tag=tag,
+            original=original,
+            on_hit=on_hit,
+            started_cycle=self.machine.clock.cycles,
+            payload=payload or {},
+        )
+        self._by_region[vaddr] = watch
+        for vline in watch.line_bases():
+            self._by_line[vline] = watch
+        self.arm_count += 1
+        return watch
+
+    def unwatch(self, watch, restore=True):
+        """Disarm; by default the saved original contents are restored."""
+        if self._by_region.pop(watch.vaddr, None) is None:
+            return
+        for vline in watch.line_bases():
+            self._by_line.pop(vline, None)
+        self.kernel.disable_watch_memory(
+            watch.vaddr,
+            restore_data=watch.original if restore else None,
+        )
+        self.disarm_count += 1
+
+    def is_watched(self, vaddr):
+        vline = vaddr - (vaddr % CACHE_LINE_SIZE)
+        return vline in self._by_line
+
+    def watch_for(self, vaddr):
+        vline = vaddr - (vaddr % CACHE_LINE_SIZE)
+        return self._by_line.get(vline)
+
+    def active_watches(self):
+        return list(self._by_region.values())
+
+    def unwatch_all(self, restore=True):
+        for watch in self.active_watches():
+            self.unwatch(watch, restore=restore)
+
+    # ------------------------------------------------------------------
+    # scrub coordination (Section 2.2.2)
+    # ------------------------------------------------------------------
+    def suspend_all(self):
+        """Temporarily disarm everything (called before a scrub pass)."""
+        self._suspended = self.active_watches()
+        for watch in self._suspended:
+            self.unwatch(watch, restore=True)
+
+    def resume_all(self):
+        """Re-arm the regions suspended for scrubbing."""
+        suspended, self._suspended = self._suspended, []
+        for watch in suspended:
+            self.watch(watch.vaddr, watch.size, watch.tag, watch.on_hit,
+                       payload=watch.payload)
+
+    # ------------------------------------------------------------------
+    # the user-level ECC fault handler
+    # ------------------------------------------------------------------
+    def _handle_fault(self, info):
+        self.machine.clock.tick(self.machine.costs.safemem_handler_check)
+        if not info.watched or info.vaddr is None:
+            # Not one of ours: a genuine hardware error on an unwatched
+            # line.  Decline; the kernel panics, as stock systems do.
+            self.unclaimed_faults += 1
+            return False
+        vline = info.vaddr - (info.vaddr % CACHE_LINE_SIZE)
+        watch = self._by_line.get(vline)
+        if watch is None:
+            self.unclaimed_faults += 1
+            return False
+        current = self.kernel.peek_watched_line(vline)
+        expected = scramble_bytes(watch.original_line(vline))
+        if current != expected:
+            # The line does not carry the scramble signature: a real
+            # hardware error struck a watched (non-critical) region.
+            # Repair it from the saved original and keep watching.
+            self._repair_line(watch, vline)
+            self.hardware_errors_repaired += 1
+            return True
+        return watch.on_hit(watch, info)
+
+    def _repair_line(self, watch, vline):
+        # Rewrite the faulted line with the scrambled original so the
+        # watchpoint stays armed with consistent contents: disarm the
+        # whole region and re-arm it.
+        self.unwatch(watch, restore=True)
+        self.watch(watch.vaddr, watch.size, watch.tag, watch.on_hit,
+                   payload=watch.payload)

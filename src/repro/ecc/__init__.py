@@ -1,0 +1,37 @@
+"""ECC memory substrate: SEC-DED codec, DRAM model, controller, scrubber."""
+
+from repro.ecc.chipset import Chipset, LoggedError
+from repro.ecc.codec import (
+    DATA_POSITIONS,
+    DecodeResult,
+    DecodeStatus,
+    SecDedCodec,
+    scramble_syndrome,
+)
+from repro.ecc.controller import EccMode, MemoryController
+from repro.ecc.dram import PhysicalMemory
+from repro.ecc.faults import (
+    EccFault,
+    FaultOrigin,
+    FaultSeverity,
+    UncorrectableEccError,
+)
+from repro.ecc.scrubber import Scrubber
+
+__all__ = [
+    "Chipset",
+    "LoggedError",
+    "DATA_POSITIONS",
+    "DecodeResult",
+    "DecodeStatus",
+    "SecDedCodec",
+    "scramble_syndrome",
+    "EccMode",
+    "MemoryController",
+    "PhysicalMemory",
+    "EccFault",
+    "FaultOrigin",
+    "FaultSeverity",
+    "UncorrectableEccError",
+    "Scrubber",
+]

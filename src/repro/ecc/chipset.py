@@ -1,0 +1,130 @@
+"""E7500-style chipset register interface.
+
+The paper stresses that its ECC library is *device-specific* because
+"most ECC memory controllers export a narrow, limited interface to the
+OS" (Section 2.2.3).  This module models that narrowness: the OS does
+not call convenient methods on the controller -- it reads and writes
+numbered configuration registers (as through PCI config space), and
+error information arrives through a small error-log register file that
+software must acknowledge.
+
+The :class:`Chipset` wraps a :class:`MemoryController`; the kernel can
+be pointed at either.  Tests drive the register protocol directly.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.ecc.controller import EccMode
+
+#: register numbers (DRC = DRAM controller config, ERR = error log).
+REG_DRC = 0x70          # mode control
+REG_ERR_STATUS = 0x80   # sticky error flags
+REG_ERR_ADDRESS = 0x84  # address of the most recent logged error
+REG_ERR_SYNDROME = 0x88 # syndrome of the most recent logged error
+REG_SCRUB_CTL = 0x90    # scrub enable / rate
+
+#: DRC mode field encoding (bits 0-1), as a real datasheet would list.
+DRC_MODE_BITS = {
+    0b00: EccMode.DISABLED,
+    0b01: EccMode.CHECK_ONLY,
+    0b10: EccMode.CORRECT_ERROR,
+    0b11: EccMode.CORRECT_AND_SCRUB,
+}
+DRC_BITS_BY_MODE = {mode: bits for bits, mode in DRC_MODE_BITS.items()}
+
+#: ERR_STATUS flag bits.
+ERR_SINGLE_BIT = 1 << 0   # a correctable error was observed
+ERR_MULTI_BIT = 1 << 1    # an uncorrectable error was observed
+ERR_OVERFLOW = 1 << 7     # errors were dropped while the log was full
+
+
+@dataclass
+class LoggedError:
+    address: int
+    syndrome: int
+    uncorrectable: bool
+
+
+class Chipset:
+    """Register-level facade over the memory controller."""
+
+    #: how many errors the hardware log can hold before dropping.
+    ERROR_LOG_DEPTH = 4
+
+    def __init__(self, controller):
+        self.controller = controller
+        self._status = 0
+        self._log = []
+        self._previous_listener = controller.fault_listener
+        controller.fault_listener = self._on_fault
+
+    # ------------------------------------------------------------------
+    # register file
+    # ------------------------------------------------------------------
+    def read_register(self, register):
+        if register == REG_DRC:
+            return DRC_BITS_BY_MODE[self.controller.mode]
+        if register == REG_ERR_STATUS:
+            return self._status
+        if register == REG_ERR_ADDRESS:
+            return self._log[0].address if self._log else 0
+        if register == REG_ERR_SYNDROME:
+            return self._log[0].syndrome if self._log else 0
+        if register == REG_SCRUB_CTL:
+            return 1 if self.controller.mode is \
+                EccMode.CORRECT_AND_SCRUB else 0
+        raise ConfigurationError(f"unknown register {register:#x}")
+
+    def write_register(self, register, value):
+        if register == REG_DRC:
+            mode_bits = value & 0b11
+            self.controller.set_mode(DRC_MODE_BITS[mode_bits])
+            return
+        if register == REG_ERR_STATUS:
+            # Write-one-to-clear semantics, like real status registers.
+            self._status &= ~value
+            if value and self._log:
+                self._log.pop(0)
+            return
+        if register == REG_SCRUB_CTL:
+            if value & 1:
+                self.controller.set_mode(EccMode.CORRECT_AND_SCRUB)
+            elif self.controller.mode is EccMode.CORRECT_AND_SCRUB:
+                self.controller.set_mode(EccMode.CORRECT_ERROR)
+            return
+        raise ConfigurationError(
+            f"register {register:#x} is read-only or unknown"
+        )
+
+    # ------------------------------------------------------------------
+    # error log
+    # ------------------------------------------------------------------
+    def pending_errors(self):
+        """The logged (unacknowledged) errors, oldest first."""
+        return list(self._log)
+
+    def acknowledge_all(self):
+        """Clear the whole log and every status flag."""
+        self._log.clear()
+        self._status = 0
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _on_fault(self, fault):
+        if fault.uncorrectable:
+            self._status |= ERR_MULTI_BIT
+        else:
+            self._status |= ERR_SINGLE_BIT
+        if len(self._log) >= self.ERROR_LOG_DEPTH:
+            self._status |= ERR_OVERFLOW
+        else:
+            self._log.append(LoggedError(
+                address=fault.address,
+                syndrome=fault.syndrome,
+                uncorrectable=fault.uncorrectable,
+            ))
+        # Chain to whoever was listening before (the kernel).
+        if self._previous_listener is not None:
+            self._previous_listener(fault)

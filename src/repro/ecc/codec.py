@@ -1,0 +1,195 @@
+"""Bit-accurate SEC-DED (72,64) Hamming codec.
+
+The paper's chipset (Intel E7500) protects each 64-bit memory word with
+8 check bits: a (72,64) single-error-correcting, double-error-detecting
+extended Hamming code.  SafeMem's watchpoint trick depends on two exact
+properties of such a code:
+
+1. a single flipped bit is silently corrected (so scrambling must flip
+   more than one bit or the watchpoint never fires), and
+2. the chosen 3-bit scramble pattern decodes as an *uncorrectable*
+   error that the controller reports to the OS (Section 2.2.2).
+
+This module implements the code for real rather than flagging errors by
+fiat: check bits live at power-of-two codeword positions 1..64, data
+bits fill the remaining positions 3..71, and an overall parity bit
+extends single-error correction to double-error detection.
+"""
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.common.constants import ECC_GROUP_BITS
+from repro.common.errors import ConfigurationError
+
+#: Codeword positions occupied by Hamming parity bits.
+PARITY_POSITIONS = (1, 2, 4, 8, 16, 32, 64)
+
+#: Highest codeword position used (71 positions hold 64 data + 7 parity).
+MAX_POSITION = 71
+
+
+def _data_positions():
+    """Return the codeword position of each of the 64 data bits."""
+    positions = []
+    parity = set(PARITY_POSITIONS)
+    for position in range(1, MAX_POSITION + 1):
+        if position not in parity:
+            positions.append(position)
+    return tuple(positions)
+
+
+#: ``DATA_POSITIONS[i]`` is the codeword position of data bit ``i``.
+DATA_POSITIONS = _data_positions()
+
+#: Inverse map: codeword position -> data bit index.
+POSITION_TO_DATA = {pos: i for i, pos in enumerate(DATA_POSITIONS)}
+
+
+class DecodeStatus(Enum):
+    """Outcome of decoding one ECC group."""
+
+    OK = "ok"
+    CORRECTED = "corrected_single_bit"
+    UNCORRECTABLE = "uncorrectable_multi_bit"
+
+
+@dataclass
+class DecodeResult:
+    """Decoded data plus the classification of any detected error."""
+
+    data: int
+    status: DecodeStatus
+    syndrome: int = 0
+
+    @property
+    def faulted(self):
+        """True when the group holds an uncorrectable error."""
+        return self.status is DecodeStatus.UNCORRECTABLE
+
+
+class SecDedCodec:
+    """Encoder/decoder for the (72,64) SEC-DED extended Hamming code."""
+
+    def __init__(self, group_bits=ECC_GROUP_BITS):
+        if group_bits != ECC_GROUP_BITS:
+            raise ConfigurationError(
+                f"only {ECC_GROUP_BITS}-bit groups are supported, "
+                f"got {group_bits}"
+            )
+        self.group_bits = group_bits
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    def encode(self, data):
+        """Return the 8 check bits for a 64-bit ``data`` word.
+
+        Bit layout of the returned byte: bits 0-6 are the Hamming parity
+        bits (for positions 1, 2, 4, ..., 64), bit 7 is the overall
+        parity over the whole 71-position codeword.
+        """
+        self._require_word(data)
+        syndrome = 0
+        ones = 0
+        for index in range(self.group_bits):
+            if (data >> index) & 1:
+                syndrome ^= DATA_POSITIONS[index]
+                ones += 1
+        check = 0
+        parity_ones = 0
+        for bit, position in enumerate(PARITY_POSITIONS):
+            if (syndrome >> bit) & 1:
+                check |= 1 << bit
+                parity_ones += 1
+        overall = (ones + parity_ones) & 1
+        check |= overall << 7
+        return check
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+    def decode(self, data, check):
+        """Decode a stored (data, check) pair read back from DRAM.
+
+        Returns a :class:`DecodeResult`.  Single-bit errors (in data,
+        parity, or the overall-parity bit itself) are corrected; every
+        other mismatch is classified as uncorrectable.
+        """
+        self._require_word(data)
+        if not 0 <= check <= 0xFF:
+            raise ConfigurationError(f"check byte out of range: {check:#x}")
+
+        expected = self.encode(data)
+        syndrome = (expected ^ check) & 0x7F
+        # Overall parity covers data + hamming parity bits; recompute the
+        # parity of the *stored* codeword and compare with the stored
+        # overall-parity bit.
+        stored_overall = (check >> 7) & 1
+        recomputed_overall = self._codeword_parity(data, check & 0x7F)
+        parity_mismatch = stored_overall != recomputed_overall
+
+        if syndrome == 0 and not parity_mismatch:
+            return DecodeResult(data=data, status=DecodeStatus.OK)
+
+        if syndrome == 0 and parity_mismatch:
+            # The overall parity bit itself flipped; data is intact.
+            return DecodeResult(
+                data=data, status=DecodeStatus.CORRECTED, syndrome=0
+            )
+
+        if parity_mismatch:
+            # Odd number of flipped bits; a single-bit error iff the
+            # syndrome names a real codeword position.
+            if syndrome <= MAX_POSITION:
+                corrected = data
+                if syndrome in POSITION_TO_DATA:
+                    corrected = data ^ (1 << POSITION_TO_DATA[syndrome])
+                # A syndrome naming a parity position means the flipped
+                # bit was a check bit; data needs no change either way.
+                return DecodeResult(
+                    data=corrected,
+                    status=DecodeStatus.CORRECTED,
+                    syndrome=syndrome,
+                )
+            return DecodeResult(
+                data=data,
+                status=DecodeStatus.UNCORRECTABLE,
+                syndrome=syndrome,
+            )
+
+        # Even number of flipped bits with a non-zero syndrome: a
+        # detectable (but uncorrectable) double-bit error.
+        return DecodeResult(
+            data=data, status=DecodeStatus.UNCORRECTABLE, syndrome=syndrome
+        )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _codeword_parity(self, data, hamming_bits):
+        """Parity (0/1) over the 71-position codeword as stored."""
+        ones = bin(data).count("1") + bin(hamming_bits).count("1")
+        return ones & 1
+
+    def _require_word(self, data):
+        if not 0 <= data < (1 << self.group_bits):
+            raise ConfigurationError(
+                f"data word out of range for {self.group_bits} bits: "
+                f"{data:#x}"
+            )
+
+
+def scramble_syndrome(bit_positions):
+    """Return the syndrome produced by flipping the given data bits.
+
+    Used by tests and by the scrambler design note in constants.py to
+    verify that a scramble pattern decodes as uncorrectable: the XOR of
+    the codeword positions must be 0 is *not* acceptable (it would be
+    read as an overall-parity flip), and any value above
+    :data:`MAX_POSITION` is guaranteed uncorrectable.
+    """
+    syndrome = 0
+    for index in bit_positions:
+        syndrome ^= DATA_POSITIONS[index]
+    return syndrome

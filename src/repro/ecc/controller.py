@@ -1,0 +1,215 @@
+"""ECC memory controller.
+
+Models an off-the-shelf controller like the Intel E7500 used in the
+paper: it encodes on writes, checks/corrects on reads, supports the four
+operating modes of Section 2.1 (Disabled, Check-Only, Correct-Error,
+Correct-and-Scrub), and exposes exactly the narrow software interface
+the paper works around:
+
+- software cannot write check bits directly; the only way to create a
+  data/code mismatch is the disable-ECC -> write -> enable-ECC window
+  used by ``WatchMemory`` (with the bus locked during the window),
+- uncorrectable errors are reported to the OS via an interrupt (here: a
+  registered ``fault_listener`` plus an :class:`UncorrectableEccError`
+  raised into the access path).
+"""
+
+from enum import Enum
+
+from repro.common.constants import (
+    CACHE_LINE_SIZE,
+    ECC_GROUP_BYTES,
+    GROUPS_PER_LINE,
+    is_aligned,
+    line_base,
+)
+from repro.common.errors import BusError, ConfigurationError
+from repro.ecc.codec import DecodeStatus, SecDedCodec
+from repro.ecc.faults import (
+    EccFault,
+    FaultOrigin,
+    FaultSeverity,
+    UncorrectableEccError,
+)
+
+
+class EccMode(Enum):
+    """Operating modes of the controller (paper Section 2.1)."""
+
+    DISABLED = "disabled"
+    CHECK_ONLY = "check_only"
+    CORRECT_ERROR = "correct_error"
+    CORRECT_AND_SCRUB = "correct_and_scrub"
+
+
+class MemoryController:
+    """Cache-line-granularity front end over :class:`PhysicalMemory`."""
+
+    def __init__(self, dram, mode=EccMode.CORRECT_ERROR, codec=None):
+        self.dram = dram
+        self.mode = mode
+        self.codec = codec or SecDedCodec()
+        #: Called with an :class:`EccFault` for every reported event
+        #: (both corrected and uncorrectable).  The kernel registers
+        #: itself here; ``None`` means events go unreported.
+        self.fault_listener = None
+        #: True while software holds the memory bus (WatchMemory window).
+        self.bus_locked = False
+        #: True while the ECC machinery is active.  ``WatchMemory``
+        #: clears this briefly to write scrambled data under a stale code.
+        self.ecc_enabled = True
+        self.corrected_errors = 0
+        self.uncorrectable_errors = 0
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # mode and window control
+    # ------------------------------------------------------------------
+    def set_mode(self, mode):
+        """Switch operating mode (OS-level configuration)."""
+        if not isinstance(mode, EccMode):
+            raise ConfigurationError(f"not an EccMode: {mode!r}")
+        self.mode = mode
+
+    @property
+    def checking_active(self):
+        """True when reads are checked against stored codes."""
+        return self.ecc_enabled and self.mode is not EccMode.DISABLED
+
+    @property
+    def correction_active(self):
+        """True when single-bit errors are corrected in place."""
+        return self.ecc_enabled and self.mode in (
+            EccMode.CORRECT_ERROR,
+            EccMode.CORRECT_AND_SCRUB,
+        )
+
+    def lock_bus(self):
+        """Acquire the memory bus (blocks DMA/other processors)."""
+        if self.bus_locked:
+            raise BusError("memory bus is already locked")
+        self.bus_locked = True
+
+    def unlock_bus(self):
+        if not self.bus_locked:
+            raise BusError("memory bus is not locked")
+        self.bus_locked = False
+
+    def disable_ecc(self):
+        """Open the scramble window.  Requires the bus to be locked,
+        so concurrent traffic cannot slip through with ECC off."""
+        if not self.bus_locked:
+            raise BusError("ECC may only be disabled with the bus locked")
+        self.ecc_enabled = False
+
+    def enable_ecc(self):
+        self.ecc_enabled = True
+
+    # ------------------------------------------------------------------
+    # cache-line transfer path
+    # ------------------------------------------------------------------
+    def read_line(self, address, origin=FaultOrigin.READ):
+        """Read one cache line, performing ECC checks per current mode.
+
+        Raises :class:`UncorrectableEccError` on a multi-bit error (the
+        machine routes this through the kernel's interrupt path).
+        """
+        self._require_line(address)
+        self.reads += 1
+        out = bytearray()
+        for offset in range(0, CACHE_LINE_SIZE, ECC_GROUP_BYTES):
+            group_addr = address + offset
+            word, check = self.dram.read_group(group_addr)
+            if not self.checking_active:
+                out += word.to_bytes(ECC_GROUP_BYTES, "little")
+                continue
+            result = self.codec.decode(word, check)
+            if result.status is DecodeStatus.CORRECTED:
+                self.corrected_errors += 1
+                if self.correction_active:
+                    self.dram.write_group(
+                        group_addr,
+                        result.data,
+                        self.codec.encode(result.data),
+                    )
+                self._report(
+                    EccFault(
+                        address=group_addr,
+                        line_address=address,
+                        severity=FaultSeverity.CORRECTED,
+                        origin=origin,
+                        syndrome=result.syndrome,
+                    )
+                )
+                word = result.data if self.correction_active else word
+            elif result.status is DecodeStatus.UNCORRECTABLE:
+                self.uncorrectable_errors += 1
+                fault = EccFault(
+                    address=group_addr,
+                    line_address=address,
+                    severity=FaultSeverity.UNCORRECTABLE,
+                    origin=origin,
+                    syndrome=result.syndrome,
+                )
+                self._report(fault)
+                raise UncorrectableEccError(fault)
+            out += word.to_bytes(ECC_GROUP_BYTES, "little")
+        return bytes(out)
+
+    def write_line(self, address, data):
+        """Write one cache line.
+
+        With ECC enabled the controller encodes fresh check bits; with
+        ECC disabled (the scramble window) only the data bits change and
+        the old check bits go stale -- the physical effect SafeMem's
+        ``WatchMemory`` exploits.
+        """
+        self._require_line(address)
+        if len(data) != CACHE_LINE_SIZE:
+            raise BusError(
+                f"line write must be {CACHE_LINE_SIZE} bytes, "
+                f"got {len(data)}"
+            )
+        self.writes += 1
+        for index in range(GROUPS_PER_LINE):
+            offset = index * ECC_GROUP_BYTES
+            word = int.from_bytes(
+                data[offset:offset + ECC_GROUP_BYTES], "little"
+            )
+            group_addr = address + offset
+            if self.ecc_enabled:
+                self.dram.write_group(group_addr, word, self.codec.encode(word))
+            else:
+                self.dram.write_group_data_only(group_addr, word)
+
+    # ------------------------------------------------------------------
+    # scrubbing support (used by repro.ecc.scrubber)
+    # ------------------------------------------------------------------
+    def scrub_line(self, address):
+        """Check (and correct) one line during a scrub pass.
+
+        Unlike :meth:`read_line`, an uncorrectable error found while
+        scrubbing is reported to the listener but does not raise -- the
+        scrubber is not on any instruction's critical path.  Returns the
+        uncorrectable :class:`EccFault` if one was found, else ``None``.
+        """
+        try:
+            self.read_line(address, origin=FaultOrigin.SCRUB)
+        except UncorrectableEccError as exc:
+            return exc.fault
+        return None
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _report(self, fault):
+        if self.fault_listener is not None:
+            self.fault_listener(fault)
+
+    def _require_line(self, address):
+        if not is_aligned(address, CACHE_LINE_SIZE):
+            raise BusError(
+                f"line access must be {CACHE_LINE_SIZE}-byte aligned, "
+                f"got {address:#x} (line base {line_base(address):#x})"
+            )

@@ -1,0 +1,108 @@
+"""Physical DRAM model that stores data bits and ECC check bits.
+
+The DRAM itself is dumb storage: it keeps a byte array of data and one
+check byte per 64-bit ECC group.  All encoding, checking, correction
+and fault reporting happens in the :mod:`repro.ecc.controller`, exactly
+as on real hardware where the DIMM stores extra bits and the memory
+controller implements the code.
+"""
+
+from repro.common.constants import ECC_GROUP_BYTES, is_aligned
+from repro.common.errors import BusError, ConfigurationError
+
+
+class PhysicalMemory:
+    """Installed DRAM: ``size`` data bytes plus check storage."""
+
+    def __init__(self, size):
+        if size <= 0 or not is_aligned(size, ECC_GROUP_BYTES):
+            raise ConfigurationError(
+                f"DRAM size must be a positive multiple of "
+                f"{ECC_GROUP_BYTES} bytes, got {size}"
+            )
+        self.size = size
+        self._data = bytearray(size)
+        self._check = bytearray(size // ECC_GROUP_BYTES)
+
+    # ------------------------------------------------------------------
+    # raw data access (no ECC semantics -- controller only)
+    # ------------------------------------------------------------------
+    def read_raw(self, address, length):
+        """Read ``length`` raw data bytes with no ECC involvement."""
+        self._require_range(address, length)
+        return bytes(self._data[address:address + length])
+
+    def write_raw(self, address, data):
+        """Write raw data bytes with no ECC involvement."""
+        self._require_range(address, len(data))
+        self._data[address:address + len(data)] = data
+
+    # ------------------------------------------------------------------
+    # group-level access used by the controller
+    # ------------------------------------------------------------------
+    def read_group(self, address):
+        """Return ``(data_word, check_byte)`` for the group at ``address``."""
+        self._require_group(address)
+        word = int.from_bytes(
+            self._data[address:address + ECC_GROUP_BYTES], "little"
+        )
+        return word, self._check[address // ECC_GROUP_BYTES]
+
+    def write_group(self, address, data_word, check_byte):
+        """Store a 64-bit data word and its check byte."""
+        self._require_group(address)
+        self._data[address:address + ECC_GROUP_BYTES] = data_word.to_bytes(
+            ECC_GROUP_BYTES, "little"
+        )
+        self._check[address // ECC_GROUP_BYTES] = check_byte
+
+    def write_group_data_only(self, address, data_word):
+        """Store data while leaving the check byte untouched.
+
+        This is only possible while the controller has ECC disabled; it
+        is the physical effect SafeMem's scrambling trick relies on.
+        """
+        self._require_group(address)
+        self._data[address:address + ECC_GROUP_BYTES] = data_word.to_bytes(
+            ECC_GROUP_BYTES, "little"
+        )
+
+    def read_check(self, address):
+        """Return the stored check byte of the group at ``address``."""
+        self._require_group(address)
+        return self._check[address // ECC_GROUP_BYTES]
+
+    # ------------------------------------------------------------------
+    # fault injection (tests / hardware-error simulation)
+    # ------------------------------------------------------------------
+    def flip_data_bit(self, address, bit):
+        """Flip one stored data bit -- simulates a hardware memory error."""
+        self._require_range(address, 1)
+        if not 0 <= bit < 8:
+            raise ConfigurationError(f"bit index out of range: {bit}")
+        self._data[address] ^= 1 << bit
+
+    def flip_check_bit(self, address, bit):
+        """Flip one stored check bit of the group containing ``address``."""
+        self._require_group(address - address % ECC_GROUP_BYTES)
+        if not 0 <= bit < 8:
+            raise ConfigurationError(f"bit index out of range: {bit}")
+        self._check[address // ECC_GROUP_BYTES] ^= 1 << bit
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _require_range(self, address, length):
+        if address < 0 or address + length > self.size:
+            raise BusError(
+                f"physical access [{address:#x}, {address + length:#x}) "
+                f"outside DRAM of {self.size:#x} bytes"
+            )
+
+    def _require_group(self, address):
+        if not is_aligned(address, ECC_GROUP_BYTES):
+            raise BusError(
+                f"group access must be {ECC_GROUP_BYTES}-byte aligned, "
+                f"got {address:#x}"
+            )
+        self._require_range(address, ECC_GROUP_BYTES)

@@ -1,0 +1,58 @@
+"""Fault records raised/reported by the ECC memory controller."""
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class FaultSeverity(Enum):
+    """Severity of an ECC event as seen by the controller."""
+
+    CORRECTED = "corrected_single_bit"
+    UNCORRECTABLE = "uncorrectable_multi_bit"
+
+
+class FaultOrigin(Enum):
+    """What kind of memory operation uncovered the fault."""
+
+    READ = "read"
+    SCRUB = "scrub"
+
+
+@dataclass
+class EccFault:
+    """One ECC event: where it happened and how bad it is.
+
+    ``address`` is the physical address of the faulting ECC group.
+    ``line_address`` is the base of the cache line containing it, which
+    is the granularity the OS and SafeMem reason at.
+    """
+
+    address: int
+    line_address: int
+    severity: FaultSeverity
+    origin: FaultOrigin
+    syndrome: int = 0
+
+    @property
+    def uncorrectable(self):
+        return self.severity is FaultSeverity.UNCORRECTABLE
+
+    def __str__(self):
+        return (
+            f"EccFault({self.severity.value} at {self.address:#010x}, "
+            f"line {self.line_address:#010x}, origin={self.origin.value}, "
+            f"syndrome={self.syndrome})"
+        )
+
+
+class UncorrectableEccError(Exception):
+    """Internal signal: the controller hit a multi-bit error on a read.
+
+    The machine's access path catches this and routes it through the
+    kernel's interrupt delivery (user handler or panic).  It never
+    escapes to library users directly.
+    """
+
+    def __init__(self, fault):
+        super().__init__(str(fault))
+        self.fault = fault

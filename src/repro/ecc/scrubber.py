@@ -1,0 +1,77 @@
+"""Periodic memory scrubber (Correct-and-Scrub mode).
+
+The paper's design issue "Dealing with ECC Memory Scrubbing"
+(Section 2.2.2): a scrub pass reads every line, so it would trip every
+armed watchpoint.  SafeMem therefore coordinates with the OS -- before a
+scrub pass the kernel notifies listeners (SafeMem temporarily unwatches
+everything and blocks the program), and re-notifies afterwards.
+
+The :class:`Scrubber` here implements the pass itself plus the
+notification hooks the kernel wires up.
+"""
+
+from repro.common.constants import CACHE_LINE_SIZE
+from repro.common.errors import ConfigurationError
+from repro.ecc.controller import EccMode
+
+
+class Scrubber:
+    """Walks DRAM line by line, correcting latent single-bit errors."""
+
+    def __init__(self, controller, clock=None, cost_model=None):
+        self.controller = controller
+        self.clock = clock
+        self.cost_model = cost_model
+        #: Callbacks invoked around a scrub pass; the kernel registers
+        #: hooks here so user tools can unwatch/rewatch their regions.
+        self.pre_scrub_hooks = []
+        self.post_scrub_hooks = []
+        self.passes_completed = 0
+        self.lines_scrubbed = 0
+        self.faults_found = []
+
+    def add_hooks(self, pre=None, post=None):
+        """Register pre/post scrub callbacks (e.g. SafeMem coordination)."""
+        if pre is not None:
+            self.pre_scrub_hooks.append(pre)
+        if post is not None:
+            self.post_scrub_hooks.append(post)
+
+    def scrub_pass(self, start=0, length=None):
+        """Run one full scrub pass over ``[start, start+length)``.
+
+        Returns the list of uncorrectable faults discovered.  Single-bit
+        errors are corrected silently by the controller.
+        """
+        if self.controller.mode is not EccMode.CORRECT_AND_SCRUB:
+            raise ConfigurationError(
+                "scrubbing requires Correct-and-Scrub mode, controller is "
+                f"in {self.controller.mode.value}"
+            )
+        if length is None:
+            length = self.controller.dram.size - start
+        if start % CACHE_LINE_SIZE or length % CACHE_LINE_SIZE:
+            raise ConfigurationError(
+                "scrub range must be cache-line aligned"
+            )
+
+        for hook in self.pre_scrub_hooks:
+            hook()
+        faults = []
+        try:
+            for line in range(start, start + length, CACHE_LINE_SIZE):
+                fault = self.controller.scrub_line(line)
+                self.lines_scrubbed += 1
+                self._charge_line()
+                if fault is not None:
+                    faults.append(fault)
+        finally:
+            for hook in self.post_scrub_hooks:
+                hook()
+        self.passes_completed += 1
+        self.faults_found.extend(faults)
+        return faults
+
+    def _charge_line(self):
+        if self.clock is not None and self.cost_model is not None:
+            self.clock.idle(self.cost_model.scrub_line)

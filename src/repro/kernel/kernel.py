@@ -1,0 +1,352 @@
+"""The simulated operating system kernel.
+
+Implements the paper's three OS extensions (Section 2.2.1) plus the
+standard facilities SafeMem and the baselines need:
+
+- ``watch_memory(addr, size)``        -- arm ECC watchpoints on a region
+- ``disable_watch_memory(addr, ...)`` -- disarm and restore a region
+- ``register_ecc_fault_handler(fn)``  -- user-level ECC fault delivery
+- ``mprotect`` / ``mmap`` / ``munmap``-- page-granularity management
+- page pinning with a budget, scrub coordination
+
+Every syscall charges its cycle cost to the program's clock, which is
+how monitoring overhead becomes measurable.
+"""
+
+from repro.common.constants import (
+    CACHE_LINE_SIZE,
+    ECC_GROUP_BYTES,
+    PAGE_SIZE,
+    SCRAMBLE_BIT_POSITIONS,
+    is_aligned,
+    page_base,
+)
+from repro.common.errors import PinLimitExceeded, SyscallError
+from repro.common.events import EventKind
+from repro.ecc.scrubber import Scrubber
+from repro.kernel.interrupts import EccFaultInfo, InterruptController
+from repro.kernel.watchregistry import WatchedRegion, WatchRegistry
+from repro.mmu.pagetable import PROT_RW
+
+#: XOR mask that flips the three fixed scramble bits of a 64-bit group.
+SCRAMBLE_MASK = 0
+for _position in SCRAMBLE_BIT_POSITIONS:
+    SCRAMBLE_MASK |= 1 << _position
+del _position
+
+
+def scramble_bytes(data):
+    """Apply (or undo -- XOR is an involution) the scramble signature.
+
+    Flips the three fixed bits of every 64-bit ECC group in ``data``.
+    The user-level watcher uses this to compute the expected scrambled
+    value when differentiating a watchpoint hit from a hardware error.
+    """
+    if len(data) % ECC_GROUP_BYTES:
+        raise SyscallError(
+            f"scramble data must be a multiple of {ECC_GROUP_BYTES} bytes"
+        )
+    out = bytearray()
+    for offset in range(0, len(data), ECC_GROUP_BYTES):
+        word = int.from_bytes(data[offset:offset + ECC_GROUP_BYTES], "little")
+        out += (word ^ SCRAMBLE_MASK).to_bytes(ECC_GROUP_BYTES, "little")
+    return bytes(out)
+
+
+class Kernel:
+    """OS services over the machine's hardware components."""
+
+    def __init__(self, dram, controller, cache, mmu, page_table, clock,
+                 costs, event_log, max_pinned_pages=None):
+        self.dram = dram
+        self.controller = controller
+        self.cache = cache
+        self.mmu = mmu
+        self.page_table = page_table
+        self.clock = clock
+        self.costs = costs
+        self.event_log = event_log
+        self.interrupts = InterruptController(clock, costs, event_log)
+        self.watches = WatchRegistry()
+        self.scrubber = Scrubber(controller, clock, costs)
+        self.pinned_pages = 0
+        if max_pinned_pages is None:
+            max_pinned_pages = max(1, (dram.size // PAGE_SIZE) // 2)
+        self.max_pinned_pages = max_pinned_pages
+        self.syscall_counts = {}
+        #: user-level SIGSEGV handler (page-protection guard tools).
+        self.segv_handler = None
+        controller.fault_listener = self._on_controller_event
+
+    # ------------------------------------------------------------------
+    # the three paper syscalls
+    # ------------------------------------------------------------------
+    def watch_memory(self, vaddr, size):
+        """Arm ECC watchpoints over ``[vaddr, vaddr+size)``.
+
+        The region must be cache-line aligned (paper requirement).  The
+        kernel pins the underlying pages, flushes the lines, then --
+        with the bus locked and ECC disabled -- rewrites the data with
+        the 3-bit scramble pattern, leaving the old check bits stale.
+        The next memory access to any of the lines raises a multi-bit
+        ECC fault.
+        """
+        self._count("WatchMemory")
+        lines = self._validate_line_region(vaddr, size)
+        self.clock.tick(self.costs.watch_memory_cost(len(lines)))
+
+        pages = sorted({page_base(line) for line in lines})
+        pinned = []
+        try:
+            for page in pages:
+                self._pin_page(page)
+                pinned.append(page)
+        except PinLimitExceeded:
+            for page in pinned:
+                self._unpin_page(page)
+            raise
+
+        line_map = {}
+        for vline in lines:
+            pline = self.mmu.resident_frame(vline)
+            line_map[vline] = pline
+
+        region = WatchedRegion(vaddr=vaddr, size=size, lines=line_map)
+        try:
+            self.watches.add(region)
+        except SyscallError:
+            for page in pinned:
+                self._unpin_page(page)
+            raise
+
+        # Write back + invalidate so DRAM holds the current data and the
+        # next access must reach memory.
+        for pline in line_map.values():
+            self.cache.flush_line(pline)
+
+        # Scramble window: bus locked, ECC off, data-only writes.
+        self.controller.lock_bus()
+        self.controller.disable_ecc()
+        try:
+            for pline in line_map.values():
+                current = self.dram.read_raw(pline, CACHE_LINE_SIZE)
+                self.controller.write_line(pline, scramble_bytes(current))
+        finally:
+            self.controller.enable_ecc()
+            self.controller.unlock_bus()
+
+        self.event_log.emit(EventKind.WATCH, address=vaddr, size=size)
+        return region
+
+    def disable_watch_memory(self, vaddr, restore_data=None):
+        """Disarm the watch region registered at ``vaddr``.
+
+        ``restore_data`` is the original contents saved by the user
+        library; when provided, the kernel rewrites it through the
+        normal (ECC-generating) path so both data and check bits are
+        consistent again.  Without it the scrambled bytes are simply
+        re-encoded, which also clears the fault condition.
+        """
+        self._count("DisableWatchMemory")
+        region = self.watches.get(vaddr)
+        if region is None:
+            raise SyscallError(f"no watched region at {vaddr:#x}")
+        if restore_data is not None and len(restore_data) != region.size:
+            raise SyscallError(
+                f"restore data is {len(restore_data)} bytes for a "
+                f"{region.size}-byte region"
+            )
+        self.clock.tick(self.costs.disable_watch_cost(len(region.lines)))
+        self.watches.remove(vaddr)
+
+        for i, (vline, pline) in enumerate(sorted(region.lines.items())):
+            self.cache.invalidate_line(pline)
+            if restore_data is not None:
+                chunk = restore_data[
+                    i * CACHE_LINE_SIZE:(i + 1) * CACHE_LINE_SIZE
+                ]
+            else:
+                chunk = self.dram.read_raw(pline, CACHE_LINE_SIZE)
+            self.controller.write_line(pline, chunk)
+
+        for page in region.pages:
+            self._unpin_page(page)
+        self.event_log.emit(EventKind.UNWATCH, address=vaddr,
+                            size=region.size)
+        return region
+
+    def register_ecc_fault_handler(self, handler):
+        """Install the user-level ECC fault handler."""
+        self._count("RegisterECCFaultHandler")
+        self.clock.tick(self.costs.syscall_trap)
+        self.interrupts.register_handler(handler)
+
+    # ------------------------------------------------------------------
+    # standard VM syscalls
+    # ------------------------------------------------------------------
+    def mmap(self, vaddr, size, prot=PROT_RW):
+        """Map a fresh zero-filled region (no syscall cost charged --
+        address-space setup happens before timing begins)."""
+        self.page_table.map_region(vaddr, size, prot)
+
+    def munmap(self, vaddr, size):
+        """Unmap a region, releasing frames and swap slots."""
+        for region in self.watches.all_regions():
+            if vaddr <= region.vaddr < vaddr + size:
+                raise SyscallError(
+                    f"cannot unmap: region {region.vaddr:#x} is watched"
+                )
+        for entry in self.page_table.unmap_region(vaddr, size):
+            if entry.present:
+                frame_base = entry.pfn * PAGE_SIZE
+                for line in range(frame_base, frame_base + PAGE_SIZE,
+                                  CACHE_LINE_SIZE):
+                    self.cache.invalidate_line(line)
+                self.mmu.frames.release(entry.pfn)
+            if entry.in_swap:
+                self.mmu.swap.drop(entry.vpn)
+
+    def mprotect(self, vaddr, size, prot):
+        """Change protection bits -- the page-granularity guard primitive."""
+        self._count("mprotect")
+        if not is_aligned(vaddr, PAGE_SIZE) or not is_aligned(size, PAGE_SIZE):
+            raise SyscallError(
+                f"mprotect range must be page aligned: "
+                f"{vaddr:#x}+{size:#x}"
+            )
+        pages = size // PAGE_SIZE
+        self.clock.tick(self.costs.mprotect_cost(pages))
+        for vpn in range(vaddr // PAGE_SIZE, (vaddr + size) // PAGE_SIZE):
+            entry = self.page_table.entry(vpn)
+            if entry is None:
+                raise SyscallError(f"mprotect on unmapped page {vpn:#x}")
+            entry.prot = prot
+
+    def register_segv_handler(self, handler):
+        """Install a user-level protection-fault (SIGSEGV) handler.
+
+        This is the delivery path the *page-protection* baseline uses;
+        ECC watchpoints never come through here.
+        """
+        self._count("sigaction")
+        self.clock.tick(self.costs.syscall_trap)
+        self.segv_handler = handler
+
+    def handle_protection_fault(self, fault):
+        """Deliver a protection fault; True means retry the access."""
+        if self.segv_handler is None:
+            return False
+        self.clock.tick(self.costs.fault_delivery)
+        self.event_log.emit(
+            EventKind.PROTECTION_FAULT,
+            address=fault.vaddr,
+            access=fault.access,
+        )
+        return self.segv_handler(fault)
+
+    # ------------------------------------------------------------------
+    # fault path (called by the machine's access loop)
+    # ------------------------------------------------------------------
+    def handle_uncorrectable_fault(self, fault, access="read"):
+        """Route a multi-bit ECC fault to the user handler (or panic)."""
+        resolved = self.watches.resolve_physical_line(fault.line_address)
+        if resolved is not None:
+            region, vline = resolved
+            vaddr = vline + (fault.address - fault.line_address)
+            watched = True
+        else:
+            vaddr = None
+            watched = False
+        info = EccFaultInfo(
+            paddr=fault.address,
+            vaddr=vaddr,
+            watched=watched,
+            syndrome=fault.syndrome,
+            origin=fault.origin.value,
+            access=access,
+        )
+        self.interrupts.deliver(info)
+
+    def peek_watched_line(self, vaddr):
+        """Kernel-mode raw read of a watched line (no ECC check).
+
+        The user-level handler needs the *current* (scrambled or not)
+        contents to compare against the scramble signature; a normal
+        load would simply re-fault.  Real hardware exposes this via the
+        machine-check architecture; we expose it as a kernel service.
+        """
+        vline = vaddr - (vaddr % CACHE_LINE_SIZE)
+        region = self.watches.region_of_vline(vline)
+        if region is None:
+            raise SyscallError(f"line {vline:#x} is not watched")
+        pline = region.lines[vline]
+        return self.dram.read_raw(pline, CACHE_LINE_SIZE)
+
+    # ------------------------------------------------------------------
+    # scrub coordination
+    # ------------------------------------------------------------------
+    def add_scrub_listener(self, pre=None, post=None):
+        """Register callbacks run before/after every scrub pass.
+
+        SafeMem registers hooks that temporarily unwatch all regions and
+        block the program during scrubbing (Section 2.2.2).
+        """
+        self.scrubber.add_hooks(pre=pre, post=post)
+
+    def run_scrub_pass(self):
+        """Trigger one scrub pass (Correct-and-Scrub mode only)."""
+        return self.scrubber.scrub_pass()
+
+    # ------------------------------------------------------------------
+    # pinning
+    # ------------------------------------------------------------------
+    def _pin_page(self, vaddr):
+        entry = self.mmu.ensure_resident(vaddr)
+        if entry.pin_count == 0:
+            if self.pinned_pages >= self.max_pinned_pages:
+                raise PinLimitExceeded(
+                    f"pin budget of {self.max_pinned_pages} pages exhausted"
+                )
+            self.pinned_pages += 1
+        entry.pin_count += 1
+
+    def _unpin_page(self, vaddr):
+        entry = self.page_table.lookup(vaddr)
+        if entry is None or entry.pin_count == 0:
+            raise SyscallError(f"page at {vaddr:#x} is not pinned")
+        entry.pin_count -= 1
+        if entry.pin_count == 0:
+            self.pinned_pages -= 1
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _validate_line_region(self, vaddr, size):
+        if size <= 0:
+            raise SyscallError(f"watch size must be positive, got {size}")
+        if not is_aligned(vaddr, CACHE_LINE_SIZE):
+            raise SyscallError(
+                f"watch region must be cache-line aligned, got {vaddr:#x}"
+            )
+        if not is_aligned(size, CACHE_LINE_SIZE):
+            raise SyscallError(
+                f"watch size must be a multiple of {CACHE_LINE_SIZE}, "
+                f"got {size}"
+            )
+        lines = list(range(vaddr, vaddr + size, CACHE_LINE_SIZE))
+        for line in lines:
+            if self.page_table.lookup(line) is None:
+                raise SyscallError(f"watch on unmapped address {line:#x}")
+        return lines
+
+    def _count(self, name):
+        self.syscall_counts[name] = self.syscall_counts.get(name, 0) + 1
+        self.event_log.emit(EventKind.SYSCALL, name=name)
+
+    def _on_controller_event(self, fault):
+        if not fault.uncorrectable:
+            self.event_log.emit(
+                EventKind.ECC_CORRECTED,
+                address=fault.address,
+                syndrome=fault.syndrome,
+            )

@@ -1,0 +1,205 @@
+"""The simulated machine: DRAM + ECC controller + cache + MMU + kernel.
+
+One :class:`Machine` is one booted system.  Programs access memory
+through :meth:`load`/:meth:`store`, which walk the full path
+(translation -> cache -> ECC controller) and transparently retry after
+a user-handled ECC fault, modelling the interrupted-and-resumed
+instruction of real hardware.
+"""
+
+from repro.cache.cache import Cache
+from repro.common.clock import VirtualClock
+from repro.common.constants import (
+    CACHE_LINE_SIZE,
+    PAGE_SIZE,
+    align_down,
+    line_base,
+)
+from repro.common.costs import default_cost_model
+from repro.common.errors import MachinePanic, PageFault, ProtectionFault
+from repro.common.events import EventLog
+from repro.ecc.controller import EccMode, MemoryController
+from repro.ecc.dram import PhysicalMemory
+from repro.ecc.faults import UncorrectableEccError
+from repro.kernel.kernel import Kernel
+from repro.mmu.mmu import Mmu
+from repro.mmu.pagetable import FrameAllocator, PageTable
+from repro.mmu.swap import SwapDevice
+
+#: A livelock guard: a correct handler fixes a line in one delivery,
+#: but one access may legitimately fault once per cache line it spans
+#: (each armed line needs its own delivery), so the budget scales with
+#: the access size.
+MAX_FAULT_RETRIES = 8
+
+
+def _retry_budget(size):
+    return MAX_FAULT_RETRIES + size // CACHE_LINE_SIZE + 1
+
+
+class Machine:
+    """A booted simulated system with ECC memory."""
+
+    def __init__(self, dram_size=32 * 1024 * 1024, cache_size=256 * 1024,
+                 cache_ways=8, ecc_mode=EccMode.CORRECT_ERROR,
+                 cost_model=None, max_pinned_pages=None, cache_levels=1,
+                 l1_size=16 * 1024, l1_ways=4):
+        self.costs = cost_model or default_cost_model()
+        self.clock = VirtualClock()
+        self.events = EventLog(self.clock)
+        self.dram = PhysicalMemory(dram_size)
+        self.controller = MemoryController(self.dram, mode=ecc_mode)
+        if cache_levels == 2:
+            from repro.cache.hierarchy import CacheHierarchy
+            self.cache = CacheHierarchy(
+                self.controller,
+                l1_size=l1_size,
+                l1_ways=l1_ways,
+                l2_size=cache_size,
+                l2_ways=cache_ways,
+                clock=self.clock,
+                cost_model=self.costs,
+            )
+        else:
+            self.cache = Cache(
+                self.controller,
+                size=cache_size,
+                ways=cache_ways,
+                clock=self.clock,
+                cost_model=self.costs,
+            )
+        self.page_table = PageTable()
+        self.frames = FrameAllocator(dram_size)
+        self.swap = SwapDevice()
+        self.mmu = Mmu(
+            self.page_table,
+            self.frames,
+            self.swap,
+            self.dram,
+            self.cache,
+            self.controller,
+        )
+        self.kernel = Kernel(
+            self.dram,
+            self.controller,
+            self.cache,
+            self.mmu,
+            self.page_table,
+            self.clock,
+            self.costs,
+            self.events,
+            max_pinned_pages=max_pinned_pages,
+        )
+
+    # ------------------------------------------------------------------
+    # program-visible memory access
+    # ------------------------------------------------------------------
+    def load(self, vaddr, size):
+        """Load ``size`` bytes from virtual memory.
+
+        An uncorrectable ECC fault is delivered to the kernel; if the
+        user-level handler claims it (after disarming/restoring the
+        line) the access retries and completes, like a resumed
+        instruction after a machine-check.
+        """
+        for _ in range(_retry_budget(size)):
+            try:
+                return self._walk(vaddr, size, write=False)
+            except UncorrectableEccError as exc:
+                self.kernel.handle_uncorrectable_fault(exc.fault,
+                                                       access="read")
+            except ProtectionFault as exc:
+                if not self.kernel.handle_protection_fault(exc):
+                    raise
+        raise MachinePanic(
+            f"ECC fault at {vaddr:#x} persisted after "
+            f"{_retry_budget(size)} handler retries"
+        )
+
+    def store(self, vaddr, data):
+        """Store bytes to virtual memory (write-allocate, so a store to
+        a watched line also trips the watchpoint via its line fill)."""
+        for _ in range(_retry_budget(len(data))):
+            try:
+                self._walk(vaddr, len(data), write=True, data=data)
+                return
+            except UncorrectableEccError as exc:
+                self.kernel.handle_uncorrectable_fault(exc.fault,
+                                                       access="write")
+            except ProtectionFault as exc:
+                if not self.kernel.handle_protection_fault(exc):
+                    raise
+        raise MachinePanic(
+            f"ECC fault at {vaddr:#x} persisted after "
+            f"{_retry_budget(len(data))} handler retries"
+        )
+
+    # ------------------------------------------------------------------
+    # raw (tool-level) access: no cycles, no faults
+    # ------------------------------------------------------------------
+    def read_virtual_raw(self, vaddr, size):
+        """Assemble the current bytes of ``[vaddr, vaddr+size)``.
+
+        Reads resident frames and swap slots directly, returning zeros
+        for never-touched pages.  Used by tools (e.g. Purify's
+        mark-and-sweep) that charge their own modelled cost instead of
+        walking the access path word by word.
+        """
+        out = bytearray()
+        cursor = vaddr
+        end = vaddr + size
+        while cursor < end:
+            page = align_down(cursor, PAGE_SIZE)
+            take = min(end - cursor, page + PAGE_SIZE - cursor)
+            entry = self.page_table.lookup(cursor)
+            if entry is None:
+                raise PageFault(cursor)
+            if entry.present:
+                frame_base = entry.pfn * PAGE_SIZE
+                offset = cursor - page
+                # Flush any dirty cached lines so DRAM is current.
+                self._sync_lines(frame_base + offset, take)
+                out += self.dram.read_raw(frame_base + offset, take)
+            elif entry.in_swap:
+                data = self.swap.peek(entry.vpn)
+                offset = cursor - page
+                out += data[offset:offset + take]
+            else:
+                out += bytes(take)
+            cursor += take
+        return bytes(out)
+
+    def _sync_lines(self, paddr, size):
+        first = line_base(paddr)
+        last = line_base(paddr + size - 1)
+        for line in range(first, last + CACHE_LINE_SIZE, CACHE_LINE_SIZE):
+            if self.cache.contains(line):
+                self.cache.flush_line(line)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _walk(self, vaddr, size, write, data=None):
+        """One attempt at the access, split at page boundaries."""
+        out = bytearray() if not write else None
+        cursor = vaddr
+        end = vaddr + size
+        position = 0
+        while cursor < end:
+            page_end = align_down(cursor, PAGE_SIZE) + PAGE_SIZE
+            take = min(end - cursor, page_end - cursor)
+            paddr = self.mmu.translate(cursor, write=write)
+            if write:
+                self.cache.store(paddr, data[position:position + take])
+            else:
+                out += self.cache.load(paddr, take)
+            cursor += take
+            position += take
+        return bytes(out) if not write else None
+
+    def __repr__(self):
+        return (
+            f"Machine(dram={self.dram.size >> 20} MiB, "
+            f"mode={self.controller.mode.value}, "
+            f"cycles={self.clock.cycles})"
+        )

@@ -1,0 +1,103 @@
+"""Memory management unit: translation, demand paging, protection.
+
+Translation is the seam where the two guard mechanisms differ:
+
+- the **page-protection baseline** revokes access bits with ``mprotect``
+  and relies on :class:`~repro.common.errors.ProtectionFault` here,
+- **ECC protection** leaves translation untouched -- its faults fire
+  later, in the memory controller, at cache-line granularity.
+"""
+
+from repro.common.constants import CACHE_LINE_SIZE, PAGE_SIZE
+from repro.common.errors import PageFault, ProtectionFault
+from repro.mmu.pagetable import PROT_READ, PROT_WRITE
+from repro.mmu.swap import EvictionPolicy
+
+
+class Mmu:
+    """Translates virtual addresses and services demand/swap faults."""
+
+    def __init__(self, page_table, frame_allocator, swap, dram, cache,
+                 controller):
+        self.page_table = page_table
+        self.frames = frame_allocator
+        self.swap = swap
+        self.dram = dram
+        self.cache = cache
+        self.controller = controller
+        self.evictor = EvictionPolicy(
+            page_table, frame_allocator, swap, dram, cache
+        )
+        self._stamp = 0
+        self.demand_fills = 0
+        self.swap_in_faults = 0
+
+    # ------------------------------------------------------------------
+    # translation
+    # ------------------------------------------------------------------
+    def translate(self, vaddr, write=False):
+        """Return the physical address for ``vaddr`` or raise a fault.
+
+        Raises :class:`PageFault` for unmapped addresses and
+        :class:`ProtectionFault` when the page's protection bits forbid
+        the access (the mprotect-guard path).
+        """
+        entry = self.page_table.lookup(vaddr)
+        if entry is None:
+            raise PageFault(vaddr)
+        required = PROT_WRITE if write else PROT_READ
+        if not entry.prot & required:
+            raise ProtectionFault(vaddr, "write" if write else "read")
+        if not entry.present:
+            self._bring_in(entry)
+        self._stamp += 1
+        entry.last_access = self._stamp
+        return entry.pfn * PAGE_SIZE + (vaddr % PAGE_SIZE)
+
+    def resident_frame(self, vaddr):
+        """Physical address of ``vaddr`` if resident, else ``None``.
+
+        Unlike :meth:`translate` this never pages anything in; the
+        kernel uses it for maintenance paths (flushes, scramble).
+        """
+        entry = self.page_table.lookup(vaddr)
+        if entry is None or not entry.present:
+            return None
+        return entry.pfn * PAGE_SIZE + (vaddr % PAGE_SIZE)
+
+    # ------------------------------------------------------------------
+    # paging
+    # ------------------------------------------------------------------
+    def _bring_in(self, entry):
+        pfn = self.evictor.obtain_frame()
+        frame_base = pfn * PAGE_SIZE
+        # Drop any stale cache lines from the frame's previous owner.
+        for line in range(frame_base, frame_base + PAGE_SIZE,
+                          CACHE_LINE_SIZE):
+            self.cache.invalidate_line(line)
+        if entry.in_swap:
+            data = self.swap.load(entry.vpn)
+            entry.in_swap = False
+            self.swap_in_faults += 1
+        else:
+            data = bytes(PAGE_SIZE)
+            self.demand_fills += 1
+        # The fill goes through the controller with ECC enabled, so the
+        # frame ends up with fresh, consistent check bits.  (This is why
+        # an armed-but-unpinned page would lose its watchpoint across a
+        # swap cycle -- the hazard that motivates pinning.)
+        for offset in range(0, PAGE_SIZE, CACHE_LINE_SIZE):
+            self.controller.write_line(
+                frame_base + offset, data[offset:offset + CACHE_LINE_SIZE]
+            )
+        entry.pfn = pfn
+        entry.present = True
+
+    def ensure_resident(self, vaddr):
+        """Page in (if needed) the page containing ``vaddr``."""
+        entry = self.page_table.lookup(vaddr)
+        if entry is None:
+            raise PageFault(vaddr)
+        if not entry.present:
+            self._bring_in(entry)
+        return entry

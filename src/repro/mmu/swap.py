@@ -1,0 +1,97 @@
+"""Swap device and eviction policy.
+
+Swapping is what forces the paper's pinning design: a watched page that
+got swapped out and back in would land on a different physical frame,
+silently losing its armed ECC state.  Our model keeps the same hazard:
+page contents move through the swap device by *raw* DRAM copies (like a
+DMA engine, uninspected by ECC), so any armed scramble on an evicted
+page would be destroyed.  Pinned pages are never evicted, which is why
+``WatchMemory`` pins.
+"""
+
+from repro.common.constants import CACHE_LINE_SIZE, PAGE_SIZE
+from repro.common.errors import OutOfMemory
+
+
+class SwapDevice:
+    """Backing store for evicted pages, keyed by virtual page number."""
+
+    def __init__(self):
+        self._slots = {}
+        self.swap_outs = 0
+        self.swap_ins = 0
+
+    def store(self, vpn, data):
+        if len(data) != PAGE_SIZE:
+            raise ValueError(f"swap slots hold whole pages, got {len(data)}")
+        self._slots[vpn] = bytes(data)
+        self.swap_outs += 1
+
+    def load(self, vpn):
+        data = self._slots.pop(vpn)
+        self.swap_ins += 1
+        return data
+
+    def holds(self, vpn):
+        return vpn in self._slots
+
+    def peek(self, vpn):
+        """Read a swapped page without swapping it back in."""
+        return self._slots[vpn]
+
+    def drop(self, vpn):
+        self._slots.pop(vpn, None)
+
+    def __len__(self):
+        return len(self._slots)
+
+
+class EvictionPolicy:
+    """LRU eviction over resident, unpinned pages."""
+
+    def __init__(self, page_table, frame_allocator, swap, dram, cache):
+        self.page_table = page_table
+        self.frames = frame_allocator
+        self.swap = swap
+        self.dram = dram
+        self.cache = cache
+
+    def obtain_frame(self):
+        """Return a free frame, evicting the LRU unpinned page if needed."""
+        pfn = self.frames.allocate()
+        if pfn is not None:
+            return pfn
+        victim = self._pick_victim()
+        if victim is None:
+            raise OutOfMemory(
+                "no free frames and every resident page is pinned"
+            )
+        self._evict(victim)
+        pfn = self.frames.allocate()
+        if pfn is None:
+            raise OutOfMemory("eviction failed to free a frame")
+        return pfn
+
+    def _pick_victim(self):
+        candidates = [
+            entry
+            for entry in self.page_table.resident_entries()
+            if not entry.pinned
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda entry: entry.last_access)
+
+    def _evict(self, entry):
+        frame_base = entry.pfn * PAGE_SIZE
+        # Write back any cached lines of the frame first, then copy the
+        # page out through the raw (DMA-like) path.
+        for line in range(frame_base, frame_base + PAGE_SIZE,
+                          CACHE_LINE_SIZE):
+            if self.cache.contains(line):
+                self.cache.flush_line(line)
+        self.swap.store(entry.vpn, self.dram.read_raw(frame_base, PAGE_SIZE))
+        self.frames.release(entry.pfn)
+        entry.pfn = None
+        entry.present = False
+        entry.in_swap = True

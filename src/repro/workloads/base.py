@@ -1,0 +1,104 @@
+"""Workload framework: the simulated applications of the paper's Table 1.
+
+The paper evaluates on seven real buggy programs.  We cannot run real
+ypserv/squid binaries inside a Python machine model, so each workload is
+a *behavioural* model: a request-driven program whose allocation
+structure (object groups, lifetimes, allocation rate relative to
+computation, buffer sizes, access mix) matches the published bug class
+of the original application.  Every workload has:
+
+- a **normal mode** (used for overhead/space measurements, like the
+  paper's bug-free overhead runs), and
+- a **buggy mode** in which the documented bug manifests (continuous
+  leaks, or a corrupting access).
+
+Workloads report **ground truth** -- exactly which objects leaked and
+which access corrupted memory -- so experiments can score true/false
+positives without relying on the detector under test.
+"""
+
+import random
+from dataclasses import dataclass, field
+
+from repro.common.errors import MonitorError
+
+
+@dataclass
+class GroundTruth:
+    """What really happened during a workload run."""
+
+    #: user addresses of objects the program genuinely leaked.
+    leaked_addresses: set = field(default_factory=set)
+    #: the corrupting access, if the bug fired: (kind, address).
+    corruption: tuple = None
+    #: the MonitorError raised by the attached tool, if any.
+    detection: MonitorError = None
+    requests_completed: int = 0
+
+    @property
+    def corruption_detected(self):
+        return self.detection is not None
+
+
+class Workload:
+    """Base class: subclasses model one application from Table 1."""
+
+    #: application name as in the paper's Table 1.
+    name = "base"
+    #: lines of code of the real application (Table 1, documentation).
+    loc = 0
+    #: one-line description (Table 1).
+    description = ""
+    #: bug class: "aleak", "sleak", "overflow", or "uaf".
+    bug = None
+    #: default number of requests for a full experiment run.
+    default_requests = 400
+
+    def __init__(self, requests=None, seed=0):
+        self.requests = requests or self.default_requests
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # template method
+    # ------------------------------------------------------------------
+    def run(self, program, buggy=False):
+        """Drive the program through ``self.requests`` requests.
+
+        In buggy corruption workloads the corrupting access raises
+        :class:`MonitorError` when a detector is attached; the harness
+        records it in the ground truth and stops (the paper's SafeMem
+        pauses the program at the first corruption fault).
+        """
+        truth = GroundTruth()
+        self.setup(program, truth)
+        try:
+            for index in range(self.requests):
+                self.handle_request(program, index, buggy, truth)
+                truth.requests_completed = index + 1
+        except MonitorError as error:
+            truth.detection = error
+        finally:
+            self.teardown(program, truth)
+            program.exit()
+        return truth
+
+    # hooks -------------------------------------------------------------
+    def setup(self, program, truth):
+        """Allocate long-lived state before the request loop."""
+
+    def handle_request(self, program, index, buggy, truth):
+        raise NotImplementedError
+
+    def teardown(self, program, truth):
+        """Release state after the loop (default: nothing)."""
+
+
+def fill(program, address, size, pattern=b"\xab"):
+    """Write ``size`` patterned bytes -- a cheap 'the app used this'."""
+    program.store(address, pattern * size)
+
+
+def read_back(program, address, size):
+    """Read ``size`` bytes -- models the app consuming a buffer."""
+    return program.load(address, size)

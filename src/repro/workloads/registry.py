@@ -1,0 +1,45 @@
+"""Registry of the seven Table 1 applications (plus extensions)."""
+
+from repro.workloads.gzip_ import Gzip
+from repro.workloads.httpd import Httpd
+from repro.workloads.proftpd import Proftpd
+from repro.workloads.squid import Squid1, Squid2
+from repro.workloads.tar_ import Tar
+from repro.workloads.ypserv import Ypserv1, Ypserv2
+
+#: Paper Table 1 order: leak applications first, then corruption.
+PAPER_WORKLOADS = {
+    "ypserv1": Ypserv1,
+    "proftpd": Proftpd,
+    "squid1": Squid1,
+    "ypserv2": Ypserv2,
+    "gzip": Gzip,
+    "tar": Tar,
+    "squid2": Squid2,
+}
+
+#: Extension workloads beyond the paper's seven.
+EXTENSION_WORKLOADS = {
+    "httpd": Httpd,
+}
+
+WORKLOADS = {**PAPER_WORKLOADS, **EXTENSION_WORKLOADS}
+
+LEAK_WORKLOADS = ("ypserv1", "proftpd", "squid1", "ypserv2")
+CORRUPTION_WORKLOADS = ("gzip", "tar", "squid2")
+
+
+def get_workload(name, **kwargs):
+    """Instantiate a workload by its Table 1 name."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def all_workload_names():
+    """The paper's seven applications (Table ordering)."""
+    return list(PAPER_WORKLOADS)

@@ -1,0 +1,135 @@
+"""Tests for the page-protection guard baseline."""
+
+import pytest
+
+from repro.baselines.pageprot import PageProtConfig, PageProtGuard
+from repro.common.constants import PAGE_SIZE
+from repro.common.errors import InvalidFree, MonitorError, ProtectionFault
+from repro.core.reports import CorruptionKind
+from repro.machine.machine import Machine
+from repro.machine.program import Program
+
+
+def make_program(config=None):
+    machine = Machine(dram_size=64 * 1024 * 1024)
+    guard = PageProtGuard(config or PageProtConfig())
+    program = Program(machine, monitor=guard, heap_size=32 * 1024 * 1024)
+    return program, guard
+
+
+class TestGuards:
+    def test_buffers_are_page_aligned(self):
+        program, _guard = make_program()
+        for size in (1, 100, PAGE_SIZE, PAGE_SIZE + 1):
+            assert program.malloc(size) % PAGE_SIZE == 0
+
+    def test_overflow_detected_at_page_distance(self):
+        program, _guard = make_program()
+        buf = program.malloc(100)
+        with pytest.raises(MonitorError) as exc_info:
+            # Page granularity: the fault fires when the access crosses
+            # into the guard PAGE, not at buf+100.
+            program.store(buf + PAGE_SIZE, b"!")
+        assert exc_info.value.report.kind is CorruptionKind.BUFFER_OVERFLOW
+
+    def test_page_granularity_blind_spot(self):
+        """The paper's false-sharing/padding criticism: a small overflow
+        that stays inside the rounding slack goes unseen."""
+        program, guard = make_program()
+        buf = program.malloc(100)
+        program.store(buf + 100, b"!")  # within the same (user) page
+        assert guard.corruption_reports == []
+
+    def test_underflow_detected(self):
+        program, _guard = make_program()
+        buf = program.malloc(64)
+        with pytest.raises(MonitorError):
+            program.load(buf - 1, 1)
+
+    def test_use_after_free_detected(self):
+        program, _guard = make_program()
+        buf = program.malloc(64)
+        program.store(buf, b"bye")
+        program.free(buf)
+        with pytest.raises(MonitorError) as exc_info:
+            program.load(buf, 1)
+        assert exc_info.value.report.kind is CorruptionKind.USE_AFTER_FREE
+
+    def test_legal_accesses_silent(self):
+        program, guard = make_program()
+        buf = program.malloc(300)
+        program.store(buf, b"z" * 300)
+        assert program.load(buf, 300) == b"z" * 300
+        assert guard.corruption_reports == []
+
+    def test_invalid_free_rejected(self):
+        program, _guard = make_program()
+        with pytest.raises(InvalidFree):
+            program.free(0xABCDEF)
+
+    def test_unrelated_segv_propagates(self):
+        from repro.mmu.pagetable import PROT_NONE
+        program, _guard = make_program()
+        other = 0x7000_0000
+        program.machine.kernel.mmap(other, PAGE_SIZE, prot=PROT_NONE)
+        with pytest.raises(ProtectionFault):
+            program.machine.load(other, 1)
+
+
+class TestSpaceWaste:
+    def test_small_buffer_wastes_two_guard_pages_plus_rounding(self):
+        program, guard = make_program()
+        program.malloc(100)
+        # 2 guard pages + (4096 - 100) rounding
+        assert guard.monitor_waste_bytes == 2 * PAGE_SIZE + (PAGE_SIZE - 100)
+        assert guard.requested_bytes == 100
+
+    def test_waste_ratio_dwarfs_ecc(self):
+        """The Table 4 effect in miniature: page guards waste ~64x more
+        than cache-line guards for small buffers."""
+        from repro.core.config import corruption_only_config
+        from repro.core.safemem import SafeMem
+
+        program, guard = make_program()
+        for _ in range(32):
+            program.malloc(64)
+        page_ratio = guard.space_overhead_fraction()
+
+        machine = Machine(dram_size=64 * 1024 * 1024)
+        safemem = SafeMem(corruption_only_config())
+        ecc_program = Program(machine, monitor=safemem,
+                              heap_size=8 * 1024 * 1024)
+        for _ in range(32):
+            ecc_program.malloc(64)
+        ecc_ratio = safemem.space_overhead_fraction()
+
+        assert page_ratio / ecc_ratio > 40
+
+    def test_exit_unprotects_everything(self):
+        program, _guard = make_program()
+        buf = program.malloc(64)
+        freed = program.malloc(64)
+        program.free(freed)
+        program.exit()
+        # No protection faults after the tool detaches.
+        program.machine.load(buf + PAGE_SIZE, 1)
+        program.machine.load(freed, 1)
+
+
+class TestQuarantine:
+    def test_quarantine_bound_holds(self):
+        config = PageProtConfig(freed_quarantine_bytes=8 * PAGE_SIZE)
+        program, guard = make_program(config)
+        for _ in range(10):
+            block = program.malloc(64)
+            program.free(block)
+        assert guard._quarantine_bytes <= 8 * PAGE_SIZE
+
+    def test_recycled_block_is_usable(self):
+        config = PageProtConfig(freed_quarantine_bytes=0)
+        program, _guard = make_program(config)
+        buf = program.malloc(64)
+        program.free(buf)
+        again = program.malloc(64)
+        program.store(again, b"recycled")
+        assert program.load(again, 8) == b"recycled"

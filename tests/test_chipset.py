@@ -1,0 +1,146 @@
+"""Tests for the register-level chipset interface."""
+
+import pytest
+
+from repro.common.constants import CACHE_LINE_SIZE
+from repro.common.errors import ConfigurationError
+from repro.ecc.chipset import (
+    DRC_BITS_BY_MODE,
+    ERR_MULTI_BIT,
+    ERR_OVERFLOW,
+    ERR_SINGLE_BIT,
+    REG_DRC,
+    REG_ERR_ADDRESS,
+    REG_ERR_STATUS,
+    REG_ERR_SYNDROME,
+    REG_SCRUB_CTL,
+    Chipset,
+)
+from repro.ecc.controller import EccMode, MemoryController
+from repro.ecc.dram import PhysicalMemory
+from repro.ecc.faults import UncorrectableEccError
+
+LINE = bytes(range(CACHE_LINE_SIZE))
+
+
+@pytest.fixture
+def setup():
+    controller = MemoryController(PhysicalMemory(64 * 1024))
+    chipset = Chipset(controller)
+    return controller, chipset
+
+
+class TestModeRegister:
+    def test_read_reflects_mode(self, setup):
+        controller, chipset = setup
+        assert chipset.read_register(REG_DRC) == \
+            DRC_BITS_BY_MODE[EccMode.CORRECT_ERROR]
+
+    def test_write_changes_mode(self, setup):
+        controller, chipset = setup
+        chipset.write_register(REG_DRC, 0b00)
+        assert controller.mode is EccMode.DISABLED
+        chipset.write_register(REG_DRC, 0b11)
+        assert controller.mode is EccMode.CORRECT_AND_SCRUB
+
+    def test_scrub_control_register(self, setup):
+        controller, chipset = setup
+        chipset.write_register(REG_SCRUB_CTL, 1)
+        assert controller.mode is EccMode.CORRECT_AND_SCRUB
+        assert chipset.read_register(REG_SCRUB_CTL) == 1
+        chipset.write_register(REG_SCRUB_CTL, 0)
+        assert controller.mode is EccMode.CORRECT_ERROR
+
+    def test_unknown_register_rejected(self, setup):
+        _controller, chipset = setup
+        with pytest.raises(ConfigurationError):
+            chipset.read_register(0xFF)
+        with pytest.raises(ConfigurationError):
+            chipset.write_register(REG_ERR_ADDRESS, 1)
+
+
+class TestErrorLog:
+    def _single_bit_error(self, controller):
+        controller.write_line(0, LINE)
+        controller.dram.flip_data_bit(3, 2)
+        controller.read_line(0)
+
+    def _multi_bit_error(self, controller, line=64):
+        controller.write_line(line, LINE)
+        controller.dram.flip_data_bit(line, 0)
+        controller.dram.flip_data_bit(line, 1)
+        with pytest.raises(UncorrectableEccError):
+            controller.read_line(line)
+
+    def test_single_bit_sets_flag_and_logs(self, setup):
+        controller, chipset = setup
+        self._single_bit_error(controller)
+        status = chipset.read_register(REG_ERR_STATUS)
+        assert status & ERR_SINGLE_BIT
+        assert not status & ERR_MULTI_BIT
+        assert chipset.read_register(REG_ERR_ADDRESS) == 0
+        assert len(chipset.pending_errors()) == 1
+
+    def test_multi_bit_sets_flag(self, setup):
+        controller, chipset = setup
+        self._multi_bit_error(controller)
+        assert chipset.read_register(REG_ERR_STATUS) & ERR_MULTI_BIT
+        logged = chipset.pending_errors()[0]
+        assert logged.uncorrectable
+        assert chipset.read_register(REG_ERR_SYNDROME) == logged.syndrome
+
+    def test_write_one_to_clear(self, setup):
+        controller, chipset = setup
+        self._single_bit_error(controller)
+        chipset.write_register(REG_ERR_STATUS, ERR_SINGLE_BIT)
+        assert chipset.read_register(REG_ERR_STATUS) == 0
+        assert chipset.pending_errors() == []
+
+    def test_log_overflow_flag(self, setup):
+        controller, chipset = setup
+        for index in range(Chipset.ERROR_LOG_DEPTH + 2):
+            line = index * 2 * CACHE_LINE_SIZE
+            self._multi_bit_error(controller, line=line)
+        status = chipset.read_register(REG_ERR_STATUS)
+        assert status & ERR_OVERFLOW
+        assert len(chipset.pending_errors()) == Chipset.ERROR_LOG_DEPTH
+
+    def test_acknowledge_all(self, setup):
+        controller, chipset = setup
+        self._single_bit_error(controller)
+        chipset.acknowledge_all()
+        assert chipset.read_register(REG_ERR_STATUS) == 0
+        assert chipset.pending_errors() == []
+
+
+class TestListenerChaining:
+    def test_previous_listener_still_called(self):
+        controller = MemoryController(PhysicalMemory(64 * 1024))
+        seen = []
+        controller.fault_listener = seen.append
+        chipset = Chipset(controller)
+        controller.write_line(0, LINE)
+        controller.dram.flip_data_bit(0, 5)
+        controller.read_line(0)
+        assert len(seen) == 1
+        assert chipset.pending_errors()
+
+    def test_kernel_delivery_unaffected_by_chipset(self):
+        """Wrapping the machine's controller with a Chipset must not
+        break SafeMem's fault path."""
+        from repro.common.errors import MonitorError
+        from repro.core.config import corruption_only_config
+        from repro.core.safemem import SafeMem
+        from repro.machine.machine import Machine
+        from repro.machine.program import Program
+
+        machine = Machine(dram_size=8 * 1024 * 1024)
+        chipset = Chipset(machine.controller)
+        safemem = SafeMem(corruption_only_config())
+        program = Program(machine, monitor=safemem,
+                          heap_size=2 * 1024 * 1024)
+        buf = program.malloc(64)
+        with pytest.raises(MonitorError):
+            program.store(buf + 64, b"!")
+        # The watchpoint hit also shows up in the hardware error log.
+        assert any(e.uncorrectable for e in chipset.pending_errors())

@@ -1,0 +1,138 @@
+"""Tests for the claims validation machinery (with a synthetic context,
+so they run fast; the real end-to-end validation is a benchmark/CLI
+concern)."""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.analysis import paper
+from repro.analysis.claims import (
+    CLAIMS,
+    Claim,
+    render_validation,
+    validate,
+)
+from repro.analysis.experiments import (
+    Figure3Result,
+    Figure3Series,
+    Table2Result,
+    Table3Result,
+    Table3Row,
+    Table4Result,
+    Table4Row,
+    Table5Result,
+    Table5Row,
+)
+
+
+def good_context():
+    """A hand-built context in which every claim holds."""
+    table2 = Table2Result(rows=[
+        ("WatchMemory", 2.0, 2.0),
+        ("DisableWatchMemory", 1.5, 1.5),
+        ("mprotect", 1.02, 1.02),
+    ])
+    table3 = Table3Result(rows=[
+        Table3Row(workload=name, bug_class="ML", detected=True,
+                  ml_overhead=0.2, mc_overhead=8.0, full_overhead=8.2,
+                  purify_slowdown=6.0)
+        for name in ("ypserv1", "proftpd", "squid1", "ypserv2",
+                     "gzip", "tar", "squid2")
+    ])
+    table4 = Table4Result(rows=[
+        Table4Row(workload="gzip", ecc_overhead_pct=3.125,
+                  page_overhead_pct=200.0),
+        Table4Row(workload="tar", ecc_overhead_pct=20.0,
+                  page_overhead_pct=1800.0),
+    ])
+    table5 = Table5Result(rows=[
+        Table5Row(workload=app, before_pruning=before,
+                  after_pruning=after, true_leaks_reported=5)
+        for app, (before, after)
+        in paper.TABLE5_FALSE_POSITIVES.items()
+    ])
+    figure3 = Figure3Result(
+        series=[
+            Figure3Series(workload=app,
+                          points=[(0.001, 50.0), (0.002, 100.0)],
+                          total_groups=2)
+            for app in ("ypserv1", "proftpd", "squid1")
+        ],
+        run_seconds={"ypserv1": 0.1, "proftpd": 0.1, "squid1": 0.1},
+    )
+    return {
+        "table2": table2, "table3": table3, "table4": table4,
+        "table5": table5, "figure3": figure3,
+    }
+
+
+class TestClaimChecks:
+    def test_all_claims_pass_on_good_context(self):
+        results = validate(context=good_context())
+        failed = [r for r in results if not r.passed]
+        assert not failed, [(r.claim.ident, r.evidence) for r in failed]
+
+    def test_missed_detection_fails_t3(self):
+        context = good_context()
+        context["table3"].rows[0].detected = False
+        results = {r.claim.ident: r for r in validate(context=context)}
+        assert not results["T3-detect"].passed
+        assert "ypserv1" in results["T3-detect"].evidence
+
+    def test_overhead_out_of_band_fails(self):
+        context = good_context()
+        context["table3"].rows[0].full_overhead = 35.0
+        results = {r.claim.ident: r for r in validate(context=context)}
+        assert not results["T3-band"].passed
+
+    def test_wrong_fp_counts_fail_t5(self):
+        context = good_context()
+        context["table5"].rows[0].after_pruning = 5
+        results = {r.claim.ident: r for r in validate(context=context)}
+        assert not results["T5-counts"].passed
+
+    def test_late_stability_fails_f3(self):
+        context = good_context()
+        context["figure3"].series[0].points[-1] = (0.09, 100.0)
+        results = {r.claim.ident: r for r in validate(context=context)}
+        assert not results["F3-stability"].passed
+
+    def test_crashing_check_is_a_failure_not_a_crash(self):
+        context = good_context()
+        del context["table2"]
+        results = validate(context=context)
+        t2 = [r for r in results if r.claim.source == "table2"]
+        assert t2 and all(not r.passed for r in t2)
+        assert "raised" in t2[0].evidence
+
+    def test_reduction_out_of_range_fails_t4(self):
+        context = good_context()
+        context["table4"].rows[0].page_overhead_pct = 40_000.0
+        results = {r.claim.ident: r for r in validate(context=context)}
+        assert not results["T4-reduction"].passed
+
+
+class TestRendering:
+    def test_render_shows_score(self):
+        text = render_validation(validate(context=good_context()))
+        assert f"{len(CLAIMS)}/{len(CLAIMS)} claims hold" in text
+        assert "PASS" in text
+
+    def test_render_shows_failures(self):
+        context = good_context()
+        context["table3"].rows[0].detected = False
+        text = render_validation(validate(context=context))
+        assert "FAIL" in text
+
+
+class TestClaimHygiene:
+    def test_unique_identifiers(self):
+        idents = [claim.ident for claim in CLAIMS]
+        assert len(idents) == len(set(idents))
+
+    def test_every_claim_has_statement_and_source(self):
+        for claim in CLAIMS:
+            assert claim.statement
+            assert claim.source in ("table2", "table3", "table4",
+                                    "table5", "figure3")

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nginx"])
+
+    def test_unknown_monitor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "gzip",
+                                       "--monitor", "valgrind"])
+
+
+class TestCommands:
+    def test_list(self):
+        code, output = run_cli("list")
+        assert code == 0
+        for name in ("ypserv1", "proftpd", "squid1", "ypserv2", "gzip",
+                     "tar", "squid2"):
+            assert name in output
+        assert "safemem" in output
+        assert "purify" in output
+
+    def test_table2(self):
+        code, output = run_cli("table2")
+        assert code == 0
+        assert "WatchMemory" in output
+        assert "2.00" in output
+
+    def test_run_native(self):
+        code, output = run_cli("run", "gzip", "--monitor", "native",
+                               "--requests", "10")
+        assert code == 0
+        assert "requests:  10/10" in output
+        assert "cycles" in output
+
+    def test_run_monitored_reports_overhead(self):
+        code, output = run_cli("run", "gzip", "--monitor", "safemem",
+                               "--requests", "20")
+        assert code == 0
+        assert "overhead:" in output
+
+    def test_run_buggy_reports_detection(self):
+        code, output = run_cli("run", "tar", "--monitor", "safemem-mc",
+                               "--buggy", "--requests", "325")
+        assert code == 0
+        assert "use_after_free" in output
+        assert "stopped at detection" in output
+        # No misleading overhead line for a run that stopped early.
+        assert "overhead:" not in output
+
+    def test_run_buggy_leak_lists_reports(self):
+        code, output = run_cli("run", "ypserv1", "--monitor",
+                               "safemem-ml", "--buggy")
+        assert code == 0
+        assert "leak reports:" in output
+        assert "ground truth:" in output

@@ -1,0 +1,159 @@
+"""Tests for memory object groups and lifetime statistics."""
+
+import pytest
+
+from repro.core.groups import GroupTable, MemoryObjectGroup
+
+
+class TestGroupRecording:
+    def test_alloc_updates_counters(self):
+        group = MemoryObjectGroup(64, 0xABC)
+        group.record_alloc(0x1000, 64, now=10)
+        group.record_alloc(0x2000, 64, now=20)
+        assert group.live_count == 2
+        assert group.live_bytes == 128
+        assert group.total_allocated == 2
+        assert group.last_alloc_cycle == 20
+
+    def test_free_computes_lifetime(self):
+        group = MemoryObjectGroup(64, 0xABC)
+        group.record_alloc(0x1000, 64, now=10)
+        group.record_free(0x1000, now=110)
+        assert group.max_lifetime == 100
+        assert group.live_count == 0
+        assert group.total_freed == 1
+
+    def test_free_of_unknown_address_returns_none(self):
+        group = MemoryObjectGroup(64, 0xABC)
+        assert group.record_free(0x9999, now=5) is None
+
+    def test_ever_freed(self):
+        group = MemoryObjectGroup(64, 0xABC)
+        assert not group.ever_freed
+        group.record_alloc(0x1000, 64, now=0)
+        group.record_free(0x1000, now=1)
+        assert group.ever_freed
+
+
+class TestMaxLifetimeStability:
+    def test_stability_accumulates_within_tolerance(self):
+        group = MemoryObjectGroup(64, 0, tolerance=0.25)
+        group.record_alloc(0x1, 64, now=0)
+        group.record_free(0x1, now=100)      # max = 100, stable_time = 0
+        group.record_alloc(0x2, 64, now=100)
+        group.record_free(0x2, now=190)      # lifetime 90 <= 125: stable
+        assert group.max_lifetime == 100
+        assert group.stable_time == 90       # 190 - 100
+
+    def test_slightly_longer_lifetime_within_tolerance_keeps_max(self):
+        group = MemoryObjectGroup(64, 0, tolerance=0.25)
+        group.record_alloc(0x1, 64, now=0)
+        group.record_free(0x1, now=100)
+        group.record_alloc(0x2, 64, now=100)
+        group.record_free(0x2, now=220)      # lifetime 120 <= 125
+        assert group.max_lifetime == 100
+        assert group.stable_time == 120
+
+    def test_outlier_lifetime_resets_stability(self):
+        group = MemoryObjectGroup(64, 0, tolerance=0.25)
+        group.record_alloc(0x1, 64, now=0)
+        group.record_free(0x1, now=100)
+        group.record_alloc(0x2, 64, now=100)
+        group.record_free(0x2, now=400)      # lifetime 300 > 125
+        assert group.max_lifetime == 300
+        assert group.stable_time == 0
+        assert group.last_max_update_cycle == 400
+
+    def test_raise_max_lifetime_from_pruning(self):
+        group = MemoryObjectGroup(64, 0)
+        group.record_alloc(0x1, 64, now=0)
+        group.record_free(0x1, now=50)
+        group.raise_max_lifetime(500, now=600)
+        assert group.max_lifetime == 500
+        assert group.stable_time == 0
+
+    def test_raise_max_lifetime_ignores_smaller(self):
+        group = MemoryObjectGroup(64, 0)
+        group.record_alloc(0x1, 64, now=0)
+        group.record_free(0x1, now=500)
+        group.raise_max_lifetime(100, now=600)
+        assert group.max_lifetime == 500
+
+
+class TestOldestLiveWindow:
+    def test_allocation_order(self):
+        group = MemoryObjectGroup(64, 0)
+        for i, now in enumerate([10, 20, 30]):
+            group.record_alloc(0x1000 * (i + 1), 64, now=now)
+        oldest = group.oldest_live(2)
+        assert [o.address for o in oldest] == [0x1000, 0x2000]
+
+    def test_refresh_moves_object_to_back(self):
+        group = MemoryObjectGroup(64, 0)
+        group.record_alloc(0x1000, 64, now=10)
+        group.record_alloc(0x2000, 64, now=20)
+        obj = group.oldest_live(1)[0]
+        group.refresh_object(obj, now=100)
+        assert obj.alloc_cycle == 100
+        assert [o.address for o in group.oldest_live(2)] == [0x2000, 0x1000]
+
+    def test_retire_removes_from_window_but_not_counters(self):
+        group = MemoryObjectGroup(64, 0)
+        group.record_alloc(0x1000, 64, now=10)
+        group.record_alloc(0x2000, 64, now=20)
+        obj = group.oldest_live(1)[0]
+        group.retire(obj)
+        assert [o.address for o in group.oldest_live(2)] == [0x2000]
+        assert group.live_count == 2
+        assert len(group.live_objects()) == 2
+
+    def test_free_of_retired_object_still_tracked(self):
+        group = MemoryObjectGroup(64, 0)
+        group.record_alloc(0x1000, 64, now=10)
+        obj = group.oldest_live(1)[0]
+        group.retire(obj)
+        freed = group.record_free(0x1000, now=50)
+        assert freed is obj
+        assert group.live_count == 0
+
+
+class TestGroupTable:
+    def test_groups_keyed_by_size_and_signature(self):
+        table = GroupTable()
+        table.on_alloc(0x1000, 64, 0xA, now=0)
+        table.on_alloc(0x2000, 64, 0xB, now=0)
+        table.on_alloc(0x3000, 32, 0xA, now=0)
+        assert len(table) == 3
+
+    def test_same_site_same_group(self):
+        table = GroupTable()
+        g1, _ = table.on_alloc(0x1000, 64, 0xA, now=0)
+        g2, _ = table.on_alloc(0x2000, 64, 0xA, now=1)
+        assert g1 is g2
+        assert g1.live_count == 2
+
+    def test_free_routes_to_owning_group(self):
+        table = GroupTable()
+        table.on_alloc(0x1000, 64, 0xA, now=0)
+        table.on_alloc(0x2000, 32, 0xB, now=0)
+        group, obj = table.on_free(0x2000, now=10)
+        assert group.size == 32
+        assert obj.address == 0x2000
+
+    def test_foreign_free_returns_none_pair(self):
+        table = GroupTable()
+        assert table.on_free(0xDEAD, now=1) == (None, None)
+
+    def test_lookup_address(self):
+        table = GroupTable()
+        group, obj = table.on_alloc(0x1000, 64, 0xA, now=0)
+        found_group, found_obj = table.lookup_address(0x1000)
+        assert found_group is group
+        assert found_obj is obj
+        table.on_free(0x1000, now=1)
+        assert table.lookup_address(0x1000) == (None, None)
+
+    def test_tolerance_propagates(self):
+        table = GroupTable(tolerance=0.5)
+        group, _obj = table.on_alloc(0x1000, 64, 0xA, now=0)
+        assert group.tolerance == 0.5

@@ -1,0 +1,232 @@
+"""Tests for SafeMem's continuous-leak detection (paper Section 3)."""
+
+import pytest
+
+from repro.core.config import leak_only_config
+from repro.core.safemem import SafeMem
+from repro.machine.machine import Machine
+from repro.machine.program import Program
+
+ALEAK_SITE = 0x1111
+NORMAL_SITE = 0x2222
+SLEAK_SITE = 0x3333
+
+#: per-iteration computation; large enough that a few thousand
+#: iterations cross the detector's warm-up and checking periods.
+WORK = 100_000
+
+
+def make_program(config=None):
+    machine = Machine(dram_size=64 * 1024 * 1024)
+    safemem = SafeMem(config or leak_only_config())
+    program = Program(machine, monitor=safemem,
+                      heap_size=16 * 1024 * 1024)
+    return program, safemem
+
+
+def run_aleak(program, iterations=3000, leak_site=ALEAK_SITE):
+    """One never-freed group growing forever + one healthy group."""
+    leaked = []
+    for _ in range(iterations):
+        with program.frame(leak_site):
+            addr = program.malloc(48)
+        program.store(addr, b"leaked payload")
+        leaked.append(addr)
+        with program.frame(NORMAL_SITE):
+            tmp = program.malloc(32)
+        program.store(tmp, b"tmp")
+        program.compute(WORK)
+        program.free(tmp)
+    return leaked
+
+
+class TestALeakDetection:
+    def test_aleak_reported(self):
+        program, safemem = make_program()
+        leaked = run_aleak(program)
+        program.exit()
+        assert safemem.leak_reports
+        assert all(r.kind == "aleak" for r in safemem.leak_reports)
+        reported = {r.object_address for r in safemem.leak_reports}
+        assert reported <= set(leaked)  # no false positives
+
+    def test_healthy_group_not_reported(self):
+        program, safemem = make_program()
+        run_aleak(program)
+        program.exit()
+        assert all(r.group_size == 48 for r in safemem.leak_reports)
+
+    def test_init_time_allocations_not_flagged(self):
+        """Allocate many objects up front, never free, never allocate
+        again: 'unlikely to be memory leaks' (Section 3.2.2)."""
+        program, safemem = make_program()
+        with program.frame(0x4444):
+            table = [program.malloc(40) for _ in range(200)]
+        for addr in table:
+            program.store(addr, b"config")
+        for _ in range(3000):
+            with program.frame(NORMAL_SITE):
+                tmp = program.malloc(32)
+            program.compute(WORK)
+            program.free(tmp)
+        program.exit()
+        assert safemem.leak_reports == []
+        assert safemem.leak.suspect_records == []
+
+    def test_below_threshold_group_not_flagged(self):
+        config = leak_only_config(aleak_live_threshold=10_000)
+        program, safemem = make_program(config)
+        run_aleak(program)
+        program.exit()
+        assert safemem.leak_reports == []
+
+
+class TestSLeakDetection:
+    def run_sleak(self, program, iterations=4000, leak_every=100,
+                  hold=5):
+        """Objects usually freed after ``hold`` iterations; every
+        ``leak_every``-th is dropped instead."""
+        leaked = []
+        pending = []
+        for i in range(iterations):
+            with program.frame(SLEAK_SITE):
+                addr = program.malloc(64)
+            program.store(addr, b"session")
+            pending.append((i, addr))
+            for (j, held) in list(pending):
+                if i - j >= hold:
+                    pending.remove((j, held))
+                    if j % leak_every == leak_every - 1:
+                        leaked.append(held)
+                    else:
+                        program.free(held)
+            program.compute(WORK)
+        return leaked
+
+    def test_sleak_reported_without_false_positives(self):
+        program, safemem = make_program()
+        leaked = self.run_sleak(program)
+        program.exit()
+        assert safemem.leak_reports
+        assert all(r.kind == "sleak" for r in safemem.leak_reports)
+        reported = {r.object_address for r in safemem.leak_reports}
+        assert reported <= set(leaked)
+
+    def test_no_flagging_while_lifetime_unstable(self):
+        """Condition 2 of Section 3.2.2: an unstable maximal lifetime
+        means no suspects at all."""
+        config = leak_only_config(sleak_stable_time_s=10_000.0)
+        program, safemem = make_program(config)
+        self.run_sleak(program)
+        program.exit()
+        assert safemem.leak.suspect_records == []
+
+
+class TestPruning:
+    def test_long_lived_but_used_object_is_pruned_not_reported(self):
+        program, safemem = make_program()
+        with program.frame(SLEAK_SITE):
+            keeper = program.malloc(64)
+        program.store(keeper, b"KEEPER")
+        for i in range(3000):
+            with program.frame(SLEAK_SITE):
+                tmp = program.malloc(64)
+            program.compute(WORK)
+            program.free(tmp)
+            if i % 400 == 399:
+                assert program.load(keeper, 6) == b"KEEPER"
+        program.exit()
+        assert keeper not in {r.object_address
+                              for r in safemem.leak_reports}
+        assert any(p.object_address == keeper
+                   for p in safemem.pruned_suspects)
+
+    def test_pruned_object_lifetime_raises_group_max(self):
+        program, safemem = make_program()
+        with program.frame(SLEAK_SITE):
+            keeper = program.malloc(64)
+        program.store(keeper, b"KEEPER")
+        for i in range(3000):
+            with program.frame(SLEAK_SITE):
+                tmp = program.malloc(64)
+            program.compute(WORK)
+            program.free(tmp)
+            if i == 400:
+                # Early enough to beat the confirmation timeout.
+                program.load(keeper, 1)
+        program.exit()
+        group = safemem.leak.groups.group_for(
+            64, next(iter(safemem.leak.groups.groups())).call_signature
+        )
+        prunes = [p for p in safemem.pruned_suspects
+                  if p.object_address == keeper]
+        assert prunes
+        assert group.max_lifetime >= prunes[0].watched_for_cycles
+
+    def test_freed_suspect_is_quietly_disarmed(self):
+        """A suspect freed before confirmation is neither a report nor
+        an ECC prune -- the free itself proves it was reachable."""
+        program, safemem = make_program()
+        with program.frame(SLEAK_SITE):
+            slow = program.malloc(64)
+        freed_late = False
+        for i in range(3000):
+            with program.frame(SLEAK_SITE):
+                tmp = program.malloc(64)
+            program.compute(WORK)
+            program.free(tmp)
+            if not freed_late and slow in {
+                w for w in safemem.leak.watched_suspects()
+            }:
+                program.free(slow)
+                freed_late = True
+        program.exit()
+        assert freed_late, "test setup: suspect never got watched"
+        assert slow not in {r.object_address for r in safemem.leak_reports}
+        assert slow not in {p.object_address
+                            for p in safemem.pruned_suspects}
+
+
+class TestDetectionCadence:
+    def test_no_scan_before_warmup(self):
+        config = leak_only_config(warmup_s=10_000.0)
+        program, safemem = make_program(config)
+        run_aleak(program, iterations=1000)
+        program.exit()
+        assert safemem.leak.suspect_records == []
+
+    def test_scan_respects_checking_period(self):
+        program, safemem = make_program()
+        detector = safemem.leak
+        scans = []
+        original = detector.scan
+
+        def counting_scan(now=None):
+            scans.append(program.machine.clock.cycles)
+            return original(now)
+
+        detector.scan = counting_scan
+        run_aleak(program, iterations=2000)
+        gaps = [b - a for a, b in zip(scans, scans[1:])]
+        assert gaps, "expected at least two scans"
+        assert min(gaps) >= detector.config.checking_period_cycles
+
+    def test_suspect_cap_respected(self):
+        config = leak_only_config(max_watched_suspects=2)
+        program, safemem = make_program(config)
+        run_aleak(program)
+        assert len(safemem.leak.watched_suspects()) <= 2
+        program.exit()
+
+
+class TestLeakOnlyAllocation:
+    def test_allocations_line_aligned_for_watchability(self):
+        program, _safemem = make_program()
+        for size in (1, 30, 64, 100):
+            assert program.malloc(size) % 64 == 0
+
+    def test_alignment_waste_accounted(self):
+        program, safemem = make_program()
+        program.malloc(40)  # rounded to 64
+        assert safemem.monitor_waste_bytes == 24
+        assert safemem.space_overhead_fraction() == pytest.approx(24 / 40)

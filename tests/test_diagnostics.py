@@ -1,0 +1,88 @@
+"""Tests for the SafeMem diagnostics rendering."""
+
+import pytest
+
+from repro.core.config import full_config, leak_only_config
+from repro.core.diagnostics import (
+    group_summary_rows,
+    render_group_summary,
+    render_safemem_diagnostics,
+    render_watch_summary,
+    watch_summary_rows,
+)
+from repro.core.safemem import SafeMem
+from repro.machine.machine import Machine
+from repro.machine.program import Program
+
+
+@pytest.fixture
+def setup():
+    machine = Machine(dram_size=16 * 1024 * 1024)
+    safemem = SafeMem(full_config())
+    program = Program(machine, monitor=safemem,
+                      heap_size=4 * 1024 * 1024)
+    return program, safemem
+
+
+class TestGroupSummary:
+    def test_rows_ordered_by_live_bytes(self, setup):
+        program, safemem = setup
+        with program.frame(0x1):
+            for _ in range(3):
+                program.malloc(64)
+        with program.frame(0x2):
+            program.malloc(4096)
+        rows = group_summary_rows(safemem.leak)
+        assert rows[0][0] == "4096B"  # biggest footprint first
+
+    def test_limit_respected(self, setup):
+        program, safemem = setup
+        for site in range(10):
+            with program.frame(site + 1):
+                program.malloc(32)
+        rows = group_summary_rows(safemem.leak, limit=4)
+        assert len(rows) == 4
+
+    def test_render_contains_counts(self, setup):
+        program, safemem = setup
+        with program.frame(0x1):
+            addr = program.malloc(64)
+        program.free(addr)
+        text = render_group_summary(safemem.leak)
+        assert "Memory object groups" in text
+        assert "64B" in text
+
+
+class TestWatchSummary:
+    def test_lists_active_watches(self, setup):
+        program, safemem = setup
+        program.malloc(64)  # two pad watches armed
+        rows = watch_summary_rows(safemem.watcher)
+        assert len(rows) == 2
+        assert all(row[2] == "pad" for row in rows)
+
+    def test_render(self, setup):
+        program, safemem = setup
+        buf = program.malloc(64)
+        program.free(buf)
+        text = render_watch_summary(safemem.watcher)
+        assert "freed" in text
+
+
+class TestCombined:
+    def test_full_diagnostics(self, setup):
+        program, safemem = setup
+        program.malloc(100)
+        text = render_safemem_diagnostics(safemem)
+        assert "Memory object groups" in text
+        assert "Active ECC watchpoints" in text
+        assert "SafeMem counters" in text
+
+    def test_leak_only_mode_skips_nothing_vital(self):
+        machine = Machine(dram_size=16 * 1024 * 1024)
+        safemem = SafeMem(leak_only_config())
+        program = Program(machine, monitor=safemem,
+                          heap_size=4 * 1024 * 1024)
+        program.malloc(64)
+        text = render_safemem_diagnostics(safemem)
+        assert "SafeMem counters" in text

@@ -1,0 +1,113 @@
+"""Differential testing: the same trace under every monitor.
+
+A dynamic monitor must be *transparent*: identical program behaviour,
+identical data, different only in time and in what gets reported.
+Replaying one recorded trace under each monitor and diffing the
+outcomes is the strongest transparency check we have.
+"""
+
+import pytest
+
+from repro.baselines.pageprot import PageProtGuard
+from repro.baselines.purify import Purify, PurifyConfig
+from repro.core.config import full_config
+from repro.core.safemem import SafeMem
+from repro.machine.machine import Machine
+from repro.machine.monitor import NullMonitor
+from repro.machine.program import Program
+from repro.workloads.traces import (
+    GroupSpec,
+    SyntheticTraceGenerator,
+    TraceReplayer,
+)
+
+
+def build_trace(seed=21, events=1500):
+    groups = [
+        GroupSpec(site=0x11, size=64, mean_lifetime_events=5),
+        GroupSpec(site=0x22, size=256, mean_lifetime_events=20),
+        GroupSpec(site=0x33, size=1024, mean_lifetime_events=60,
+                  residents=2, touch_period=10),
+    ]
+    generator = SyntheticTraceGenerator(groups=groups, events=events,
+                                        compute_per_event=10_000,
+                                        seed=seed)
+    trace, leaked = generator.generate()
+    assert not leaked  # transparency traces are leak-free
+    return trace
+
+
+def replay_under(monitor, trace, heap=16 * 1024 * 1024):
+    machine = Machine(dram_size=64 * 1024 * 1024,
+                      cache_size=2 * 1024 * 1024, cache_ways=16)
+    program = Program(machine, monitor=monitor, heap_size=heap)
+    replayer = TraceReplayer(trace)
+    addresses = replayer.run(program)
+    return machine, program, addresses, replayer
+
+
+MONITORS = {
+    "native": lambda: NullMonitor(),
+    "safemem": lambda: SafeMem(full_config()),
+    "purify": lambda: Purify(PurifyConfig(detect_uninit=False)),
+    "pageprot": lambda: PageProtGuard(),
+}
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_trace()
+
+
+class TestTransparency:
+    @pytest.mark.parametrize("name", sorted(MONITORS))
+    def test_trace_replays_cleanly(self, trace, name):
+        monitor = MONITORS[name]()
+        machine, program, addresses, replayer = replay_under(
+            monitor, trace,
+            heap=64 * 1024 * 1024 if name == "pageprot"
+            else 16 * 1024 * 1024,
+        )
+        assert replayer.skipped == 0
+        # No monitor may report anything on a clean trace.
+        for attribute in ("corruption_reports",):
+            if hasattr(monitor, attribute):
+                assert getattr(monitor, attribute) == [], name
+
+    def test_allocation_counts_identical(self, trace):
+        counts = {}
+        for name, factory in MONITORS.items():
+            _m, program, addresses, _r = replay_under(
+                factory(), trace,
+                heap=64 * 1024 * 1024 if name == "pageprot"
+                else 16 * 1024 * 1024,
+            )
+            counts[name] = len(addresses)
+        assert len(set(counts.values())) == 1, counts
+
+    def test_surviving_object_contents_identical(self, trace):
+        """Whatever the replayer last stored into each surviving object
+        must read back identically under every monitor (addresses
+        differ; contents must not)."""
+        images = {}
+        for name, factory in MONITORS.items():
+            machine, _program, addresses, _r = replay_under(
+                factory(), trace,
+                heap=64 * 1024 * 1024 if name == "pageprot"
+                else 16 * 1024 * 1024,
+            )
+            snapshot = []
+            for obj in sorted(addresses):
+                address = addresses[obj]
+                snapshot.append(machine.read_virtual_raw(address, 32))
+            images[name] = snapshot
+        reference = images.pop("native")
+        for name, snapshot in images.items():
+            assert snapshot == reference, name
+
+    def test_cycle_ordering_native_safemem_purify(self, trace):
+        cycles = {}
+        for name in ("native", "safemem", "purify"):
+            machine, _p, _a, _r = replay_under(MONITORS[name](), trace)
+            cycles[name] = machine.clock.cycles
+        assert cycles["native"] < cycles["safemem"] < cycles["purify"]

@@ -1,0 +1,137 @@
+"""Tests for the DMA engine and the bus-lock guarantee."""
+
+import pytest
+
+from repro.common.constants import CACHE_LINE_SIZE, PAGE_SIZE
+from repro.common.errors import ConfigurationError
+from repro.ecc.faults import UncorrectableEccError
+from repro.machine.dma import DmaEngine
+from repro.machine.machine import Machine
+
+BASE = 0x4000_0000
+
+
+@pytest.fixture
+def machine():
+    m = Machine(dram_size=4 * 1024 * 1024)
+    m.kernel.mmap(BASE, 8 * PAGE_SIZE)
+    return m
+
+
+def paddr_of(machine, vaddr):
+    return machine.mmu.translate(vaddr)
+
+
+class TestTransfers:
+    def test_copy_moves_data(self, machine):
+        dma = DmaEngine(machine)
+        machine.store(BASE, b"dma payload".ljust(CACHE_LINE_SIZE, b"."))
+        machine.store(BASE + PAGE_SIZE, bytes(CACHE_LINE_SIZE))
+        src = paddr_of(machine, BASE)
+        dst = paddr_of(machine, BASE + PAGE_SIZE)
+        dma.submit(src, dst, CACHE_LINE_SIZE)
+        assert dma.step() == 1
+        assert machine.load(BASE + PAGE_SIZE, 11) == b"dma payload"
+
+    def test_copy_sees_dirty_cpu_data(self, machine):
+        """The engine flushes dirty CPU lines first (coherence)."""
+        dma = DmaEngine(machine)
+        machine.store(BASE, b"fresh")
+        machine.store(BASE + PAGE_SIZE, bytes(CACHE_LINE_SIZE))
+        dma.submit(paddr_of(machine, BASE),
+                   paddr_of(machine, BASE + PAGE_SIZE),
+                   CACHE_LINE_SIZE)
+        dma.step()
+        assert machine.load(BASE + PAGE_SIZE, 5) == b"fresh"
+
+    def test_destination_cache_invalidated(self, machine):
+        dma = DmaEngine(machine)
+        machine.store(BASE, b"new data".ljust(CACHE_LINE_SIZE, b"\0"))
+        machine.store(BASE + PAGE_SIZE, b"old data")
+        machine.load(BASE + PAGE_SIZE, 8)  # destination now cached
+        dma.submit(paddr_of(machine, BASE),
+                   paddr_of(machine, BASE + PAGE_SIZE),
+                   CACHE_LINE_SIZE)
+        dma.step()
+        assert machine.load(BASE + PAGE_SIZE, 8) == b"new data"
+
+    def test_validation(self, machine):
+        dma = DmaEngine(machine)
+        with pytest.raises(ConfigurationError):
+            dma.submit(3, 0, CACHE_LINE_SIZE)
+        with pytest.raises(ConfigurationError):
+            dma.submit(0, 64, 10)
+
+    def test_writes_generate_fresh_ecc(self, machine):
+        """DMA writes go through the controller: destination lines get
+        valid check bits and read back cleanly."""
+        dma = DmaEngine(machine)
+        machine.store(BASE, bytes(range(64)))
+        machine.store(BASE + PAGE_SIZE, bytes(64))
+        src = paddr_of(machine, BASE)
+        dst = paddr_of(machine, BASE + PAGE_SIZE)
+        dma.submit(src, dst, CACHE_LINE_SIZE)
+        dma.step()
+        assert machine.controller.read_line(dst) == bytes(range(64))
+
+
+class TestBusLock:
+    def test_transfers_defer_while_bus_locked(self, machine):
+        dma = DmaEngine(machine)
+        machine.store(BASE, bytes(CACHE_LINE_SIZE))
+        machine.store(BASE + PAGE_SIZE, bytes(CACHE_LINE_SIZE))
+        dma.submit(paddr_of(machine, BASE),
+                   paddr_of(machine, BASE + PAGE_SIZE),
+                   CACHE_LINE_SIZE)
+        machine.controller.lock_bus()
+        assert dma.step() == 0
+        assert dma.deferred_by_bus_lock == 1
+        machine.controller.unlock_bus()
+        assert dma.step() == 1
+
+    def test_dma_read_of_watched_line_faults_like_any_read(self, machine):
+        """A DMA read that touches an armed line hits the same ECC
+        check as a CPU read -- the fault surfaces at the engine."""
+        machine.store(BASE, bytes(CACHE_LINE_SIZE))
+        machine.store(BASE + PAGE_SIZE, bytes(CACHE_LINE_SIZE))
+        machine.kernel.watch_memory(BASE, CACHE_LINE_SIZE)
+        dma = DmaEngine(machine)
+        region = machine.kernel.watches.get(BASE)
+        src = region.lines[BASE]
+        dma.submit(src, paddr_of(machine, BASE + PAGE_SIZE),
+                   CACHE_LINE_SIZE)
+        with pytest.raises(UncorrectableEccError):
+            dma.step()
+
+    def test_watch_memory_window_excludes_dma(self, machine):
+        """End to end: a transfer queued before WatchMemory cannot slip
+        into the disabled-ECC window; it only runs after the window
+        closes, and the armed line is intact."""
+        dma = DmaEngine(machine)
+        machine.store(BASE, bytes(CACHE_LINE_SIZE))
+        machine.store(BASE + PAGE_SIZE, b"\x5e" * CACHE_LINE_SIZE)
+        machine.store(BASE + 2 * PAGE_SIZE, bytes(CACHE_LINE_SIZE))
+        dma.submit(paddr_of(machine, BASE + PAGE_SIZE),
+                   paddr_of(machine, BASE + 2 * PAGE_SIZE),
+                   CACHE_LINE_SIZE)
+
+        # Instrument the controller's disable window to attempt DMA
+        # progress mid-scramble, as a concurrent agent would.
+        original_disable = machine.controller.disable_ecc
+        attempted = {}
+
+        def disable_and_poke():
+            original_disable()
+            attempted["ran"] = dma.step()
+
+        machine.controller.disable_ecc = disable_and_poke
+        machine.kernel.watch_memory(BASE, CACHE_LINE_SIZE)
+        machine.controller.disable_ecc = original_disable
+
+        assert attempted["ran"] == 0          # excluded by the lock
+        assert dma.step() == 1                # completes afterwards
+        assert machine.load(BASE + 2 * PAGE_SIZE, 4) == b"\x5e" * 4
+        # The watchpoint is still armed and fires.
+        from repro.common.errors import MachinePanic
+        with pytest.raises(MachinePanic):
+            machine.load(BASE, 1)

@@ -1,0 +1,149 @@
+"""Unit and property tests for the SEC-DED (72,64) codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.constants import SCRAMBLE_BIT_POSITIONS
+from repro.common.errors import ConfigurationError
+from repro.ecc.codec import (
+    DATA_POSITIONS,
+    MAX_POSITION,
+    PARITY_POSITIONS,
+    DecodeStatus,
+    SecDedCodec,
+    scramble_syndrome,
+)
+
+WORDS = st.integers(min_value=0, max_value=2 ** 64 - 1)
+BITS = st.integers(min_value=0, max_value=63)
+
+
+@pytest.fixture
+def codec():
+    return SecDedCodec()
+
+
+class TestCodeStructure:
+    def test_64_data_positions(self):
+        assert len(DATA_POSITIONS) == 64
+        assert len(set(DATA_POSITIONS)) == 64
+
+    def test_data_positions_avoid_parity_positions(self):
+        assert not set(DATA_POSITIONS) & set(PARITY_POSITIONS)
+
+    def test_positions_cover_1_to_71(self):
+        together = sorted(set(DATA_POSITIONS) | set(PARITY_POSITIONS))
+        assert together == list(range(1, MAX_POSITION + 1))
+
+
+class TestEncodeDecode:
+    def test_clean_roundtrip_zero(self, codec):
+        check = codec.encode(0)
+        result = codec.decode(0, check)
+        assert result.status is DecodeStatus.OK
+        assert result.data == 0
+
+    def test_zero_word_has_zero_check(self, codec):
+        # Freshly zeroed DRAM (data=0, check=0) must decode cleanly.
+        assert codec.encode(0) == 0
+
+    @given(WORDS)
+    @settings(max_examples=200)
+    def test_clean_roundtrip_any_word(self, word):
+        codec = SecDedCodec()
+        result = codec.decode(word, codec.encode(word))
+        assert result.status is DecodeStatus.OK
+        assert result.data == word
+
+    def test_rejects_out_of_range_data(self, codec):
+        with pytest.raises(ConfigurationError):
+            codec.encode(2 ** 64)
+        with pytest.raises(ConfigurationError):
+            codec.encode(-1)
+
+    def test_rejects_out_of_range_check(self, codec):
+        with pytest.raises(ConfigurationError):
+            codec.decode(0, 0x100)
+
+
+class TestSingleBitErrors:
+    @given(WORDS, BITS)
+    @settings(max_examples=200)
+    def test_single_data_bit_corrected(self, word, bit):
+        codec = SecDedCodec()
+        check = codec.encode(word)
+        corrupted = word ^ (1 << bit)
+        result = codec.decode(corrupted, check)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == word
+
+    @given(WORDS, st.integers(min_value=0, max_value=6))
+    @settings(max_examples=100)
+    def test_single_parity_bit_corrected(self, word, parity_bit):
+        codec = SecDedCodec()
+        check = codec.encode(word) ^ (1 << parity_bit)
+        result = codec.decode(word, check)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == word
+
+    @given(WORDS)
+    @settings(max_examples=100)
+    def test_overall_parity_bit_flip_corrected(self, word):
+        codec = SecDedCodec()
+        check = codec.encode(word) ^ 0x80
+        result = codec.decode(word, check)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == word
+
+
+class TestDoubleBitErrors:
+    @given(WORDS, BITS, BITS)
+    @settings(max_examples=200)
+    def test_double_data_bit_detected_not_corrected(self, word, b1, b2):
+        if b1 == b2:
+            return
+        codec = SecDedCodec()
+        check = codec.encode(word)
+        corrupted = word ^ (1 << b1) ^ (1 << b2)
+        result = codec.decode(corrupted, check)
+        assert result.status is DecodeStatus.UNCORRECTABLE
+
+    @given(WORDS, BITS, st.integers(min_value=0, max_value=6))
+    @settings(max_examples=100)
+    def test_data_plus_parity_bit_detected(self, word, data_bit, parity_bit):
+        codec = SecDedCodec()
+        check = codec.encode(word) ^ (1 << parity_bit)
+        corrupted = word ^ (1 << data_bit)
+        result = codec.decode(corrupted, check)
+        assert result.status is DecodeStatus.UNCORRECTABLE
+
+
+class TestScramblePattern:
+    def test_scramble_syndrome_is_invalid_position(self):
+        # The designed property: XOR of the three scramble positions
+        # exceeds MAX_POSITION, so decode cannot mis-correct it.
+        syndrome = scramble_syndrome(SCRAMBLE_BIT_POSITIONS)
+        assert syndrome > MAX_POSITION
+
+    @given(WORDS)
+    @settings(max_examples=200)
+    def test_scramble_always_uncorrectable(self, word):
+        codec = SecDedCodec()
+        check = codec.encode(word)
+        scrambled = word
+        for bit in SCRAMBLE_BIT_POSITIONS:
+            scrambled ^= 1 << bit
+        result = codec.decode(scrambled, check)
+        assert result.status is DecodeStatus.UNCORRECTABLE
+
+    @given(WORDS)
+    @settings(max_examples=50)
+    def test_single_bit_scramble_would_be_silently_corrected(self, word):
+        # Negative control for the paper's design note: a 1-bit
+        # scramble would never raise a fault.
+        codec = SecDedCodec()
+        check = codec.encode(word)
+        result = codec.decode(word ^ 1, check)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == word

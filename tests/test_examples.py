@@ -1,0 +1,40 @@
+"""Smoke tests: every example script must run clean.
+
+Examples are documentation; broken documentation is worse than none.
+The slowest example (compare_tools) is exercised indirectly through
+the analysis tests, so only the fast four run here.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = (
+    "quickstart.py",
+    "ecc_watchpoints.py",
+    "custom_allocator.py",
+    "leak_detection_server.py",
+)
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must narrate what they do"
+
+
+def test_all_examples_are_covered_somewhere():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    covered = set(FAST_EXAMPLES) | {"compare_tools.py",
+                                    "synthetic_traces.py"}
+    assert scripts <= covered, scripts - covered

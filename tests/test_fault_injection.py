@@ -1,0 +1,211 @@
+"""Failure-injection tests: hardware errors, ECC modes, storms.
+
+The whole point of repurposing ECC is that it keeps doing its day job
+while SafeMem borrows it.  These tests inject real (simulated) memory
+errors around and under the monitoring machinery.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.runner import run_workload
+from repro.common.constants import CACHE_LINE_SIZE, PAGE_SIZE
+from repro.common.errors import MachinePanic, MonitorError
+from repro.core.config import full_config
+from repro.core.safemem import SafeMem
+from repro.ecc.controller import EccMode
+from repro.machine.machine import Machine
+from repro.machine.program import Program
+
+BASE = 0x4000_0000
+
+
+class TestSingleBitErrorStorm:
+    def test_workload_survives_correctable_error_storm(self):
+        """Sprinkle single-bit errors over the heap during a monitored
+        run: the controller corrects every one, the program's data and
+        results are unaffected, and SafeMem raises no false alarm."""
+        rng = random.Random(99)
+        machine = Machine(dram_size=16 * 1024 * 1024)
+        safemem = SafeMem(full_config())
+        program = Program(machine, monitor=safemem,
+                          heap_size=4 * 1024 * 1024)
+
+        buffers = []
+        for index in range(50):
+            buffer = program.malloc(256)
+            program.store(buffer, bytes([index]) * 256)
+            buffers.append(buffer)
+
+        # Inject errors into resident, *unwatched* frames.  (Errors on
+        # watched lines are exercised separately below.)  At most one
+        # flip per ECC group -- two flips in one group would be a
+        # genuine uncorrectable error, tested separately.
+        injected_groups = set()
+        injected = 0
+        for _ in range(40):
+            victim = rng.choice(buffers)
+            offset = rng.randrange(256)
+            paddr = machine.mmu.resident_frame(victim + offset)
+            if paddr is None or paddr - paddr % 8 in injected_groups:
+                continue
+            injected_groups.add(paddr - paddr % 8)
+            machine.cache.flush_line(paddr)
+            machine.dram.flip_data_bit(paddr, rng.randrange(8))
+            injected += 1
+        assert injected > 0
+
+        for index, buffer in enumerate(buffers):
+            assert program.load(buffer, 256) == bytes([index]) * 256
+        assert machine.controller.corrected_errors >= 1
+        assert safemem.corruption_reports == []
+
+    def test_correct_error_mode_repairs_in_place(self):
+        machine = Machine(dram_size=1024 * 1024)
+        machine.kernel.mmap(BASE, PAGE_SIZE)
+        machine.store(BASE, b"resilient")
+        paddr = machine.mmu.translate(BASE)
+        machine.cache.flush_line(paddr)
+        machine.dram.flip_data_bit(paddr, 4)
+        assert machine.load(BASE, 9) == b"resilient"
+        # DRAM itself was repaired; a raw read confirms.
+        machine.cache.flush_line(paddr)
+        assert machine.dram.read_raw(paddr, 9) == b"resilient"
+
+
+class TestEccModeInteraction:
+    def _armed_machine(self, mode):
+        machine = Machine(dram_size=1024 * 1024, ecc_mode=mode)
+        safemem_config = full_config()
+        safemem = SafeMem(safemem_config)
+        program = Program(machine, monitor=safemem,
+                          heap_size=256 * 1024)
+        return machine, safemem, program
+
+    def test_watchpoints_fire_in_check_only_mode(self):
+        machine, _safemem, program = self._armed_machine(
+            EccMode.CHECK_ONLY)
+        buffer = program.malloc(64)
+        program.free(buffer)
+        with pytest.raises(MonitorError):
+            program.load(buffer, 1)
+
+    def test_disabled_ecc_silently_defeats_safemem(self):
+        """With the controller in Disabled mode the scramble never
+        faults: SafeMem degrades to missing bugs -- exactly what would
+        happen on a real machine with ECC turned off.  (The tool should
+        refuse to start in this mode; the machine model documents why.)
+        """
+        machine, safemem, program = self._armed_machine(EccMode.DISABLED)
+        buffer = program.malloc(64)
+        program.free(buffer)
+        program.load(buffer, 1)  # use-after-free goes unnoticed
+        assert safemem.corruption_reports == []
+
+    def test_scrub_mode_workload_roundtrip(self):
+        machine, _safemem, program = self._armed_machine(
+            EccMode.CORRECT_AND_SCRUB)
+        buffer = program.malloc(128)
+        program.store(buffer, b"\x3c" * 128)
+        machine.kernel.run_scrub_pass()
+        assert program.load(buffer, 128) == b"\x3c" * 128
+
+
+class TestUncorrectableInjection:
+    def test_double_bit_error_during_workload_panics(self):
+        """An uncorrectable error on an unwatched line mid-run is a real
+        machine-check: SafeMem declines it and the kernel panics."""
+        result_machine = Machine(dram_size=16 * 1024 * 1024)
+        safemem = SafeMem(full_config())
+        program = Program(result_machine, monitor=safemem,
+                          heap_size=4 * 1024 * 1024)
+        buffer = program.malloc(256)
+        program.store(buffer, b"x" * 256)
+        paddr = result_machine.mmu.translate(buffer)
+        result_machine.cache.flush_line(paddr)
+        result_machine.dram.flip_data_bit(paddr, 0)
+        result_machine.dram.flip_data_bit(paddr, 1)
+        with pytest.raises(MachinePanic):
+            program.load(buffer, 8)
+        assert safemem.watcher.unclaimed_faults == 1
+
+    def test_check_bit_corruption_also_detected(self):
+        machine = Machine(dram_size=1024 * 1024)
+        machine.kernel.mmap(BASE, PAGE_SIZE)
+        machine.store(BASE, b"check bits matter")
+        paddr = machine.mmu.translate(BASE)
+        machine.cache.flush_line(paddr)
+        machine.dram.flip_check_bit(paddr, 0)
+        machine.dram.flip_check_bit(paddr, 1)
+        with pytest.raises(MachinePanic):
+            machine.load(BASE, 4)
+
+
+class TestErrorsOnWatchedLines:
+    def test_storm_on_watched_lines_is_repaired_not_fatal(self):
+        """Hardware errors landing on scrambled (watched) lines fail
+        the signature check; SafeMem repairs from its private copy and
+        keeps the watch armed."""
+        machine = Machine(dram_size=4 * 1024 * 1024)
+        safemem = SafeMem(full_config())
+        program = Program(machine, monitor=safemem,
+                          heap_size=1024 * 1024)
+        buffer = program.malloc(64)
+        program.store(buffer, b"precious!")
+        program.free(buffer)  # freed watch armed over the line
+
+        region = safemem.watcher.active_watches()[0]
+        pline = machine.kernel.watches.get(region.vaddr).lines[
+            region.vaddr
+        ]
+        rng = random.Random(5)
+        for _ in range(3):
+            machine.dram.flip_data_bit(pline + rng.randrange(8),
+                                       rng.randrange(8))
+        # The next access still reports the true bug.
+        with pytest.raises(MonitorError) as exc_info:
+            program.load(buffer, 1)
+        assert "use_after_free" in str(exc_info.value)
+        assert safemem.watcher.hardware_errors_repaired >= 1
+
+
+class TestWorkloadsUnderInjection:
+    def test_gzip_completes_with_background_corrected_errors(self):
+        """End-to-end: random correctable errors injected between
+        requests do not change a monitored workload's behaviour."""
+        result = run_workload("gzip", "safemem", requests=30)
+        baseline_cycles = result.cycles
+
+        machine = Machine(dram_size=64 * 1024 * 1024,
+                          cache_size=2 * 1024 * 1024, cache_ways=16)
+        safemem = SafeMem(full_config())
+        program = Program(machine, monitor=safemem,
+                          heap_size=24 * 1024 * 1024)
+        from repro.workloads.registry import get_workload
+        workload = get_workload("gzip", requests=30)
+
+        rng = random.Random(7)
+        original_handler = workload.handle_request
+
+        def inject_and_handle(prog, index, buggy, truth):
+            original_handler(prog, index, buggy, truth)
+            # One single-bit error per request in the input staging
+            # buffer, which the next request is guaranteed to read.
+            target = workload.input_buffer + rng.randrange(
+                workload.block_size
+            )
+            paddr = machine.mmu.resident_frame(target)
+            if paddr is not None:
+                machine.cache.flush_line(paddr)
+                machine.dram.flip_data_bit(paddr, rng.randrange(8))
+
+        workload.handle_request = inject_and_handle
+        truth = workload.run(program, buggy=False)
+        assert truth.detection is None
+        assert truth.requests_completed == 30
+        assert machine.controller.corrected_errors >= 1
+        # Corrections happen in the controller, not on the program's
+        # dime: cycle counts stay in the same ballpark.
+        assert abs(machine.clock.cycles - baseline_cycles) < \
+            0.05 * baseline_cycles

@@ -1,0 +1,223 @@
+"""Tests for the allocator and call-stack signatures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.clock import VirtualClock
+from repro.common.costs import default_cost_model
+from repro.common.errors import (
+    ConfigurationError,
+    DoubleFree,
+    InvalidFree,
+    OutOfMemory,
+)
+from repro.heap.allocator import MIN_ALIGNMENT, Allocator
+from repro.heap.callstack import CallStack, call_stack_signature
+
+BASE = 0x2000_0000
+SIZE = 1024 * 1024
+
+
+@pytest.fixture
+def allocator():
+    return Allocator(BASE, SIZE)
+
+
+class TestMalloc:
+    def test_returns_in_arena(self, allocator):
+        addr = allocator.malloc(100)
+        assert BASE <= addr < BASE + SIZE
+
+    def test_min_alignment(self, allocator):
+        for _ in range(10):
+            assert allocator.malloc(7) % MIN_ALIGNMENT == 0
+
+    def test_requested_alignment(self, allocator):
+        allocator.malloc(5)
+        addr = allocator.malloc(100, alignment=64)
+        assert addr % 64 == 0
+
+    def test_rejects_bad_sizes(self, allocator):
+        with pytest.raises(ConfigurationError):
+            allocator.malloc(0)
+        with pytest.raises(ConfigurationError):
+            allocator.malloc(-5)
+
+    def test_rejects_bad_alignment(self, allocator):
+        with pytest.raises(ConfigurationError):
+            allocator.malloc(8, alignment=48)
+        with pytest.raises(ConfigurationError):
+            allocator.malloc(8, alignment=8)
+
+    def test_no_overlap(self, allocator):
+        blocks = [(allocator.malloc(s), s) for s in (16, 100, 7, 4096, 33)]
+        spans = sorted(
+            (addr, addr + allocator.lookup(addr).size) for addr, _ in blocks
+        )
+        for (a_start, a_end), (b_start, _b_end) in zip(spans, spans[1:]):
+            assert a_end <= b_start
+
+    def test_out_of_memory(self):
+        allocator = Allocator(BASE, 1024)
+        allocator.malloc(512)
+        with pytest.raises(OutOfMemory):
+            allocator.malloc(1024)
+
+
+class TestFree:
+    def test_free_makes_space_reusable(self):
+        allocator = Allocator(BASE, 1024)
+        addr = allocator.malloc(1024)
+        allocator.free(addr)
+        assert allocator.malloc(1024) == addr
+
+    def test_double_free_detected(self, allocator):
+        addr = allocator.malloc(64)
+        allocator.free(addr)
+        with pytest.raises(DoubleFree):
+            allocator.free(addr)
+
+    def test_invalid_free_detected(self, allocator):
+        with pytest.raises(InvalidFree):
+            allocator.free(BASE + 123)
+
+    def test_coalescing(self):
+        allocator = Allocator(BASE, 4096)
+        a = allocator.malloc(1024)
+        b = allocator.malloc(1024)
+        c = allocator.malloc(1024)
+        allocator.free(a)
+        allocator.free(c)
+        allocator.free(b)  # middle free must merge all three
+        big = allocator.malloc(3072)
+        assert big == a
+
+    def test_was_freed_history(self, allocator):
+        addr = allocator.malloc(64)
+        assert not allocator.was_freed(addr)
+        allocator.free(addr)
+        assert allocator.was_freed(addr)
+
+    def test_reallocating_same_address_clears_freed_history(self):
+        allocator = Allocator(BASE, 1024)
+        addr = allocator.malloc(1024)
+        allocator.free(addr)
+        again = allocator.malloc(1024)
+        assert again == addr
+        assert not allocator.was_freed(addr)
+        allocator.free(addr)  # legal: it is live again
+
+
+class TestRealloc:
+    def test_grow_moves_or_extends(self, allocator):
+        addr = allocator.malloc(64)
+        new = allocator.realloc(addr, 4096)
+        assert allocator.is_live(new)
+        assert allocator.lookup(new).size >= 4096
+
+    def test_shrink_in_place(self, allocator):
+        addr = allocator.malloc(4096)
+        assert allocator.realloc(addr, 64) == addr
+
+    def test_realloc_none_is_malloc(self, allocator):
+        addr = allocator.realloc(None, 128)
+        assert allocator.is_live(addr)
+
+    def test_realloc_invalid(self, allocator):
+        with pytest.raises(InvalidFree):
+            allocator.realloc(BASE + 5, 10)
+
+
+class TestAccounting:
+    def test_live_bytes_and_peak(self, allocator):
+        a = allocator.malloc(1000)
+        peak = allocator.live_bytes
+        assert peak >= 1000
+        allocator.free(a)
+        assert allocator.live_bytes == 0
+        assert allocator.peak_live_bytes == peak
+
+    def test_counters(self, allocator):
+        a = allocator.malloc(10)
+        allocator.malloc(20)
+        allocator.free(a)
+        assert allocator.total_allocs == 2
+        assert allocator.total_frees == 1
+
+    def test_clock_charged(self):
+        clock = VirtualClock()
+        costs = default_cost_model()
+        allocator = Allocator(BASE, SIZE, clock=clock, costs=costs)
+        allocator.malloc(10)
+        assert clock.cycles == costs.heap_op
+
+    def test_block_containing(self, allocator):
+        addr = allocator.malloc(100)
+        block = allocator.block_containing(addr + 50)
+        assert block.address == addr
+        assert allocator.block_containing(BASE + SIZE - 1) is None
+
+
+class TestPropertyBased:
+    @given(st.lists(st.integers(min_value=1, max_value=2048),
+                    min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_alloc_free_all_restores_full_arena(self, sizes):
+        allocator = Allocator(BASE, SIZE)
+        addresses = [allocator.malloc(size) for size in sizes]
+        for address in addresses:
+            allocator.free(address)
+        # Full coalescing: one free extent covering the whole arena.
+        assert allocator.free_bytes() == SIZE
+        assert allocator.malloc(SIZE) == BASE
+
+    @given(st.lists(st.tuples(st.integers(min_value=1, max_value=512),
+                              st.booleans()),
+                    min_size=1, max_size=120))
+    @settings(max_examples=50, deadline=None)
+    def test_live_bytes_invariant(self, operations):
+        allocator = Allocator(BASE, SIZE)
+        live = []
+        for size, do_free in operations:
+            if do_free and live:
+                allocator.free(live.pop())
+            else:
+                live.append(allocator.malloc(size))
+        expected = sum(allocator.lookup(a).size for a in live)
+        assert allocator.live_bytes == expected
+        assert allocator.free_bytes() + expected == SIZE
+
+
+class TestCallStack:
+    def test_signature_depends_on_order(self):
+        assert call_stack_signature([1, 2, 3, 4]) != \
+            call_stack_signature([4, 3, 2, 1])
+
+    def test_signature_uses_only_last_four(self):
+        deep = [9, 9, 9, 1, 2, 3, 4]
+        assert call_stack_signature(deep) == call_stack_signature([1, 2, 3, 4])
+
+    def test_signature_is_32_bit(self):
+        sig = call_stack_signature([0xFFFF_FFFF_FFFF] * 4)
+        assert 0 <= sig < 2 ** 32
+
+    def test_stack_push_pop(self):
+        stack = CallStack(entry_pc=0x400)
+        stack.push(0x500)
+        stack.push(0x600)
+        assert stack.depth == 3
+        assert stack.pop() == 0x600
+        assert stack.frames() == (0x400, 0x500)
+
+    def test_cannot_pop_entry_frame(self):
+        stack = CallStack()
+        with pytest.raises(IndexError):
+            stack.pop()
+
+    def test_different_sites_different_signatures(self):
+        s1 = CallStack()
+        s2 = CallStack()
+        s1.push(0x1000)
+        s2.push(0x2000)
+        assert s1.signature() != s2.signature()

@@ -1,0 +1,154 @@
+"""Tests for the page table, MMU, swapping, and pinning interactions."""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.errors import (
+    ConfigurationError,
+    OutOfMemory,
+    PageFault,
+    ProtectionFault,
+)
+from repro.machine.machine import Machine
+from repro.mmu.pagetable import (
+    PROT_NONE,
+    PROT_READ,
+    PROT_RW,
+    FrameAllocator,
+    PageTable,
+)
+
+BASE = 0x4000_0000
+
+
+@pytest.fixture
+def machine():
+    return Machine(dram_size=4 * 1024 * 1024)
+
+
+class TestPageTable:
+    def test_map_requires_alignment(self):
+        table = PageTable()
+        with pytest.raises(ConfigurationError):
+            table.map_region(100, PAGE_SIZE)
+        with pytest.raises(ConfigurationError):
+            table.map_region(0, 100)
+
+    def test_double_map_rejected(self):
+        table = PageTable()
+        table.map_region(0, PAGE_SIZE)
+        with pytest.raises(ConfigurationError):
+            table.map_region(0, PAGE_SIZE)
+
+    def test_lookup_inside_region(self):
+        table = PageTable()
+        table.map_region(BASE, 2 * PAGE_SIZE)
+        assert table.lookup(BASE + 5).vpn == BASE // PAGE_SIZE
+        assert table.lookup(BASE + PAGE_SIZE).vpn == BASE // PAGE_SIZE + 1
+        assert table.lookup(BASE + 2 * PAGE_SIZE) is None
+
+    def test_unmap_returns_entries(self):
+        table = PageTable()
+        table.map_region(BASE, 2 * PAGE_SIZE)
+        removed = table.unmap_region(BASE, 2 * PAGE_SIZE)
+        assert len(removed) == 2
+        assert table.lookup(BASE) is None
+
+
+class TestFrameAllocator:
+    def test_counts_frames(self):
+        frames = FrameAllocator(16 * PAGE_SIZE)
+        assert frames.total_frames == 16
+        assert frames.free_frames == 16
+
+    def test_allocate_release_roundtrip(self):
+        frames = FrameAllocator(2 * PAGE_SIZE)
+        a = frames.allocate()
+        b = frames.allocate()
+        assert frames.allocate() is None
+        frames.release(a)
+        assert frames.allocate() == a
+        assert b is not None
+
+
+class TestTranslation:
+    def test_unmapped_access_page_faults(self, machine):
+        with pytest.raises(PageFault):
+            machine.load(0xdead0000, 1)
+
+    def test_demand_fill_zeroes(self, machine):
+        machine.kernel.mmap(BASE, PAGE_SIZE)
+        assert machine.load(BASE, 16) == bytes(16)
+        assert machine.mmu.demand_fills == 1
+
+    def test_store_load_roundtrip(self, machine):
+        machine.kernel.mmap(BASE, PAGE_SIZE)
+        machine.store(BASE + 100, b"payload")
+        assert machine.load(BASE + 100, 7) == b"payload"
+
+    def test_access_spanning_pages(self, machine):
+        machine.kernel.mmap(BASE, 2 * PAGE_SIZE)
+        payload = bytes(range(64))
+        machine.store(BASE + PAGE_SIZE - 32, payload)
+        assert machine.load(BASE + PAGE_SIZE - 32, 64) == payload
+
+    def test_protection_fault_on_read_of_prot_none(self, machine):
+        machine.kernel.mmap(BASE, PAGE_SIZE, prot=PROT_NONE)
+        with pytest.raises(ProtectionFault) as exc_info:
+            machine.load(BASE, 1)
+        assert exc_info.value.access == "read"
+
+    def test_protection_fault_on_write_of_readonly(self, machine):
+        machine.kernel.mmap(BASE, PAGE_SIZE, prot=PROT_READ)
+        machine.load(BASE, 1)
+        with pytest.raises(ProtectionFault) as exc_info:
+            machine.store(BASE, b"x")
+        assert exc_info.value.access == "write"
+
+    def test_mprotect_toggles_access(self, machine):
+        machine.kernel.mmap(BASE, PAGE_SIZE)
+        machine.store(BASE, b"ok")
+        machine.kernel.mprotect(BASE, PAGE_SIZE, PROT_NONE)
+        with pytest.raises(ProtectionFault):
+            machine.load(BASE, 1)
+        machine.kernel.mprotect(BASE, PAGE_SIZE, PROT_RW)
+        assert machine.load(BASE, 2) == b"ok"
+
+
+class TestSwapping:
+    def _tiny_machine(self):
+        # 16 frames of DRAM; mapping more virtual pages forces eviction.
+        return Machine(dram_size=16 * PAGE_SIZE, cache_size=4 * 1024,
+                       max_pinned_pages=4)
+
+    def test_eviction_and_swap_in_preserves_data(self):
+        machine = self._tiny_machine()
+        pages = 32
+        machine.kernel.mmap(BASE, pages * PAGE_SIZE)
+        for i in range(pages):
+            machine.store(BASE + i * PAGE_SIZE, bytes([i]) * 8)
+        assert machine.swap.swap_outs > 0
+        for i in range(pages):
+            assert machine.load(BASE + i * PAGE_SIZE, 8) == bytes([i]) * 8
+        assert machine.swap.swap_ins > 0
+
+    def test_pinned_pages_survive_memory_pressure(self):
+        machine = self._tiny_machine()
+        pages = 32
+        machine.kernel.mmap(BASE, pages * PAGE_SIZE)
+        machine.store(BASE, b"pinned data")
+        machine.kernel._pin_page(BASE)
+        for i in range(1, pages):
+            machine.store(BASE + i * PAGE_SIZE, bytes([i]) * 8)
+        entry = machine.page_table.lookup(BASE)
+        assert entry.present  # never evicted
+        machine.kernel._unpin_page(BASE)
+
+    def test_all_pinned_oom(self):
+        machine = Machine(dram_size=4 * PAGE_SIZE, cache_size=4 * 1024,
+                          max_pinned_pages=4)
+        machine.kernel.mmap(BASE, 8 * PAGE_SIZE)
+        for i in range(4):
+            machine.kernel._pin_page(BASE + i * PAGE_SIZE)
+        with pytest.raises(OutOfMemory):
+            machine.store(BASE + 5 * PAGE_SIZE, b"x")

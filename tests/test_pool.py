@@ -1,0 +1,154 @@
+"""Tests for the pool allocator and SafeMem's custom-allocator wrapping."""
+
+import pytest
+
+from repro.common.constants import CACHE_LINE_SIZE
+from repro.common.errors import ConfigurationError, DoubleFree, InvalidFree
+from repro.core.config import full_config, leak_only_config
+from repro.core.safemem import SafeMem
+from repro.heap.pool import PoolAllocator
+from repro.machine.machine import Machine
+from repro.machine.program import Program
+
+WORK = 100_000
+
+
+def make_program(monitor=None):
+    machine = Machine(dram_size=64 * 1024 * 1024)
+    return Program(machine, monitor=monitor, heap_size=16 * 1024 * 1024)
+
+
+class TestPoolAllocator:
+    def test_objects_are_line_aligned_and_distinct(self):
+        program = make_program()
+        pool = PoolAllocator(program, object_size=48)
+        addresses = [pool.alloc() for _ in range(40)]
+        assert len(set(addresses)) == 40
+        for address in addresses:
+            assert address % CACHE_LINE_SIZE == 0
+
+    def test_release_and_reuse(self):
+        program = make_program()
+        pool = PoolAllocator(program, object_size=64, objects_per_slab=4)
+        address = pool.alloc()
+        pool.release(address)
+        assert pool.alloc() == address
+
+    def test_grows_by_slabs(self):
+        program = make_program()
+        pool = PoolAllocator(program, object_size=64, objects_per_slab=4)
+        for _ in range(9):
+            pool.alloc()
+        assert pool.slab_allocations == 3
+        assert pool.capacity == 12
+
+    def test_double_free_detected(self):
+        program = make_program()
+        pool = PoolAllocator(program, object_size=64)
+        address = pool.alloc()
+        pool.release(address)
+        with pytest.raises(DoubleFree):
+            pool.release(address)
+
+    def test_foreign_free_detected(self):
+        program = make_program()
+        pool = PoolAllocator(program, object_size=64)
+        pool.alloc()
+        with pytest.raises(InvalidFree):
+            pool.release(0xDEADBEEF)
+
+    def test_bad_size_rejected(self):
+        program = make_program()
+        with pytest.raises(ConfigurationError):
+            PoolAllocator(program, object_size=0)
+
+    def test_destroy_returns_slabs(self):
+        program = make_program()
+        pool = PoolAllocator(program, object_size=64,
+                             objects_per_slab=4)
+        pool.alloc()
+        allocs_before = program.allocator.total_allocs
+        del allocs_before
+        pool.destroy()
+        assert program.allocator.live_bytes == 0
+
+
+class TestSafeMemPoolWrapping:
+    def test_wrapped_pool_objects_enter_leak_groups(self):
+        safemem = SafeMem(leak_only_config())
+        program = make_program(monitor=safemem)
+        pool = PoolAllocator(program, object_size=48, site=0x77)
+        alloc, release = safemem.wrap_pool(pool)
+        address = alloc()
+        groups = safemem.leak.groups
+        group, obj = groups.lookup_address(address)
+        assert group is not None
+        assert obj.size == 48
+        release(address)
+        assert groups.lookup_address(address) == (None, None)
+
+    def test_wrapped_pool_leak_is_detected(self):
+        safemem = SafeMem(leak_only_config())
+        program = make_program(monitor=safemem)
+        pool = PoolAllocator(program, object_size=48, site=0x77)
+        alloc, release = safemem.wrap_pool(pool)
+
+        leaked = []
+        for i in range(3000):
+            with program.frame(0x77):
+                obj = alloc()
+            program.store(obj, b"pooled")
+            program.compute(WORK)
+            if i % 100 == 99:
+                leaked.append(obj)  # dropped: a pool leak
+            else:
+                release(obj)
+        program.exit()
+        reported = {r.object_address for r in safemem.leak_reports}
+        assert reported & set(leaked)
+        assert not reported - set(leaked)
+
+    def test_wrapped_pool_pruning_works(self):
+        """A long-lived pool object still in use is pruned, proving the
+        ECC watchpoints work on custom-allocator objects too."""
+        safemem = SafeMem(leak_only_config())
+        program = make_program(monitor=safemem)
+        pool = PoolAllocator(program, object_size=48, site=0x77)
+        alloc, release = safemem.wrap_pool(pool)
+
+        with program.frame(0x77):
+            keeper = alloc()
+        program.store(keeper, b"KEEP")
+        for i in range(2500):
+            with program.frame(0x77):
+                obj = alloc()
+            program.compute(WORK)
+            release(obj)
+            if i % 300 == 299:
+                assert program.load(keeper, 4) == b"KEEP"
+        program.exit()
+        assert any(p.object_address == keeper
+                   for p in safemem.pruned_suspects)
+        assert keeper not in {r.object_address
+                              for r in safemem.leak_reports}
+
+    def test_wrapping_without_leak_detector_is_identity(self):
+        from repro.core.config import corruption_only_config
+        safemem = SafeMem(corruption_only_config())
+        program = make_program(monitor=safemem)
+        pool = PoolAllocator(program, object_size=48)
+        alloc, release = safemem.wrap_pool(pool)
+        assert alloc == pool.alloc
+        assert release == pool.release
+
+    def test_slabs_still_guarded_by_corruption_detector(self):
+        from repro.common.errors import MonitorError
+        safemem = SafeMem(full_config())
+        program = make_program(monitor=safemem)
+        pool = PoolAllocator(program, object_size=64,
+                             objects_per_slab=4)
+        last = [pool.alloc() for _ in range(4)][-1]
+        # One past the end of the last object = one past the slab:
+        # the slab's right guard line fires.
+        with pytest.raises(MonitorError):
+            program.store(last + pool.stride, b"!")

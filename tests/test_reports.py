@@ -1,0 +1,77 @@
+"""Tests for the report dataclasses (rendering and fields)."""
+
+from repro.core.reports import (
+    CorruptionKind,
+    CorruptionReport,
+    LeakReport,
+    PrunedSuspect,
+)
+
+
+class TestCorruptionReport:
+    def _report(self, **overrides):
+        fields = dict(
+            kind=CorruptionKind.BUFFER_OVERFLOW,
+            access_address=0x2000_0040,
+            access_type="write",
+            buffer_address=0x2000_0000,
+            buffer_size=64,
+            detected_at_cycle=1234,
+        )
+        fields.update(overrides)
+        return CorruptionReport(**fields)
+
+    def test_str_contains_essentials(self):
+        text = str(self._report())
+        assert "buffer_overflow" in text
+        assert "0x20000040" in text
+        assert "write" in text
+        assert "1234" in text
+
+    def test_kinds_cover_paper_plus_extension(self):
+        values = {kind.value for kind in CorruptionKind}
+        assert values == {
+            "buffer_overflow", "use_after_free", "uninitialized_read",
+        }
+
+    def test_detail_defaults_empty(self):
+        assert self._report().detail == {}
+
+    def test_uaf_str(self):
+        text = str(self._report(kind=CorruptionKind.USE_AFTER_FREE,
+                                access_type="read"))
+        assert "use_after_free" in text
+        assert "read" in text
+
+
+class TestLeakReport:
+    def test_str_contains_group_and_times(self):
+        report = LeakReport(
+            object_address=0x2000_0100,
+            object_size=48,
+            group_size=48,
+            call_signature=0xABCD,
+            kind="aleak",
+            allocated_at_cycle=10,
+            reported_at_cycle=99,
+        )
+        text = str(report)
+        assert "aleak" in text
+        assert "0x2000" in text
+        assert "0x0000abcd" in text
+        assert "99" in text
+
+
+class TestPrunedSuspect:
+    def test_str(self):
+        pruned = PrunedSuspect(
+            object_address=0x2000_0200,
+            group_size=64,
+            call_signature=0x1,
+            kind="sleak",
+            watched_for_cycles=5000,
+        )
+        text = str(pruned)
+        assert "pruned" in text
+        assert "sleak" in text
+        assert "5000" in text

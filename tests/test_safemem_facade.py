@@ -1,0 +1,197 @@
+"""Tests for the SafeMem facade: config modes, realloc, statistics."""
+
+import pytest
+
+from repro.common.constants import CACHE_LINE_SIZE
+from repro.common.errors import ConfigurationError, MonitorError
+from repro.core.config import (
+    SafeMemConfig,
+    corruption_only_config,
+    full_config,
+    leak_only_config,
+)
+from repro.core.safemem import SafeMem
+from repro.machine.machine import Machine
+from repro.machine.program import Program
+
+
+def make_program(config=None):
+    machine = Machine(dram_size=16 * 1024 * 1024)
+    safemem = SafeMem(config)
+    program = Program(machine, monitor=safemem, heap_size=4 * 1024 * 1024)
+    return program, safemem
+
+
+class TestConfigValidation:
+    def test_default_config_is_valid(self):
+        SafeMemConfig().validate()
+
+    def test_all_detectors_disabled_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SafeMemConfig(detect_leaks=False,
+                          detect_corruption=False).validate()
+
+    def test_bad_multiplier_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SafeMemConfig(sleak_lifetime_multiplier=1.0).validate()
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SafeMemConfig(checking_period_s=0).validate()
+
+    def test_bad_pad_lines_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SafeMemConfig(pad_lines=0).validate()
+
+    def test_bad_grouping_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SafeMemConfig(grouping="by_colour").validate()
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SafeMemConfig(lifetime_tolerance=-0.1).validate()
+
+    def test_factory_helpers(self):
+        assert leak_only_config().detect_leaks
+        assert not leak_only_config().detect_corruption
+        assert corruption_only_config().detect_corruption
+        assert not corruption_only_config().detect_leaks
+        assert full_config().detect_leaks
+        assert full_config().detect_corruption
+
+    def test_cycle_conversions(self):
+        config = SafeMemConfig(checking_period_s=0.001)
+        assert config.checking_period_cycles == 2_400_000
+
+
+class TestModeWiring:
+    def test_leak_only_has_no_corruption_detector(self):
+        _program, safemem = make_program(leak_only_config())
+        assert safemem.leak is not None
+        assert safemem.corruption is None
+
+    def test_corruption_only_has_no_leak_detector(self):
+        _program, safemem = make_program(corruption_only_config())
+        assert safemem.leak is None
+        assert safemem.corruption is not None
+
+    def test_uninit_only_mode(self):
+        config = SafeMemConfig(
+            detect_leaks=False, detect_corruption=False,
+            detect_uninit_reads=True,
+        ).validate()
+        program, safemem = make_program(config)
+        buf = program.malloc(64)
+        with pytest.raises(MonitorError):
+            program.load(buf, 1)
+
+    def test_empty_report_lists_without_detectors(self):
+        _program, safemem = make_program(corruption_only_config())
+        assert safemem.leak_reports == []
+        assert safemem.pruned_suspects == []
+
+
+class TestRealloc:
+    def test_realloc_grow_preserves_data(self):
+        program, _safemem = make_program(full_config())
+        buf = program.malloc(32)
+        program.store(buf, b"0123456789abcdef" * 2)
+        new = program.realloc(buf, 256)
+        assert program.load(new, 32) == b"0123456789abcdef" * 2
+
+    def test_realloc_shrink_preserves_prefix(self):
+        program, _safemem = make_program(full_config())
+        buf = program.malloc(256)
+        program.store(buf, bytes(range(64)))
+        new = program.realloc(buf, 16)
+        assert program.load(new, 16) == bytes(range(16))
+
+    def test_realloc_none_allocates(self):
+        program, _safemem = make_program(full_config())
+        buf = program.realloc(None, 64)
+        program.store(buf, b"fresh")
+        assert program.load(buf, 5) == b"fresh"
+
+    def test_realloc_updates_guards(self):
+        program, _safemem = make_program(corruption_only_config())
+        buf = program.malloc(64)
+        new = program.realloc(buf, 64 * 3)
+        program.store(new, b"\0" * 64 * 3)  # whole new extent writable
+        with pytest.raises(MonitorError):
+            program.store(new + 64 * 3, b"!")
+
+    def test_realloc_old_address_becomes_freed(self):
+        program, _safemem = make_program(corruption_only_config())
+        buf = program.malloc(64)
+        new = program.realloc(buf, 1024)
+        assert new != buf
+        with pytest.raises(MonitorError):
+            program.load(buf, 1)
+
+
+class TestCalloc:
+    def test_calloc_zeroes_through_guards(self):
+        program, safemem = make_program(full_config())
+        buf = program.calloc(8, 32)
+        assert program.load(buf, 256) == bytes(256)
+        assert safemem.corruption_reports == []
+
+    def test_calloc_registers_one_leak_object(self):
+        program, safemem = make_program(leak_only_config())
+        program.calloc(4, 16)
+        groups = safemem.leak.groups.groups()
+        assert sum(g.live_count for g in groups) == 1
+
+
+class TestStatisticsAndAccounting:
+    def test_statistics_keys(self):
+        program, safemem = make_program(full_config())
+        buf = program.malloc(64)
+        program.free(buf)
+        stats = safemem.statistics()
+        for key in ("watch_arms", "watch_disarms", "pin_failures",
+                    "space_overhead", "leak_reports",
+                    "corruption_reports", "groups"):
+            assert key in stats
+
+    def test_space_overhead_zero_before_allocs(self):
+        _program, safemem = make_program(full_config())
+        assert safemem.space_overhead_fraction() == 0.0
+
+    def test_leak_only_space_is_alignment_only(self):
+        program, safemem = make_program(leak_only_config())
+        program.malloc(CACHE_LINE_SIZE)  # exact line: zero waste
+        assert safemem.space_overhead_fraction() == 0.0
+
+    def test_full_mode_space_includes_pads(self):
+        program, safemem = make_program(full_config())
+        program.malloc(CACHE_LINE_SIZE)
+        assert safemem.space_overhead_fraction() == pytest.approx(2.0)
+
+
+class TestExitBehaviour:
+    def test_exit_disarms_all_watches(self):
+        program, safemem = make_program(full_config())
+        keep = program.malloc(64)
+        gone = program.malloc(64)
+        program.free(gone)
+        program.exit()
+        assert safemem.watcher.active_watches() == []
+        # Machine-level accesses no longer fault anywhere.
+        program.machine.load(keep - CACHE_LINE_SIZE, 1)
+        program.machine.load(gone, 1)
+
+    def test_exit_reports_outstanding_confirmed_suspects(self):
+        """A suspect past its confirmation window when the program
+        exits is reported by the final pass."""
+        config = leak_only_config(leak_confirm_s=0.0001)
+        program, safemem = make_program(config)
+        with program.frame(0x1):
+            old = program.malloc(64)
+        for _ in range(2000):
+            with program.frame(0x1):
+                tmp = program.malloc(64)
+            program.compute(100_000)
+            program.free(tmp)
+        program.exit()
+        assert old in {r.object_address for r in safemem.leak_reports}

@@ -1,0 +1,130 @@
+"""Stateful property testing (hypothesis rule-based machines).
+
+Random interleavings of program operations against reference models:
+the allocator against an interval bookkeeper, and a SafeMem-monitored
+program against a plain dict of expected buffer contents.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.config import full_config
+from repro.core.safemem import SafeMem
+from repro.heap.allocator import Allocator
+from repro.machine.machine import Machine
+from repro.machine.program import Program
+
+ARENA_BASE = 0x2000_0000
+ARENA_SIZE = 256 * 1024
+
+
+class AllocatorMachine(RuleBasedStateMachine):
+    """The allocator never overlaps, never escapes, always coalesces."""
+
+    def __init__(self):
+        super().__init__()
+        self.allocator = Allocator(ARENA_BASE, ARENA_SIZE)
+        self.live = {}
+
+    @rule(size=st.integers(min_value=1, max_value=4096),
+          alignment=st.sampled_from([16, 32, 64, 4096]))
+    def malloc(self, size, alignment):
+        try:
+            address = self.allocator.malloc(size, alignment=alignment)
+        except Exception:
+            return  # OOM under fragmentation is legal
+        assert address % alignment == 0
+        granted = self.allocator.lookup(address).size
+        self.live[address] = granted
+
+    @precondition(lambda self: self.live)
+    @rule(index=st.integers(min_value=0, max_value=10 ** 6))
+    def free(self, index):
+        address = sorted(self.live)[index % len(self.live)]
+        self.allocator.free(address)
+        del self.live[address]
+
+    @invariant()
+    def no_overlap_and_conservation(self):
+        spans = sorted((a, a + s) for a, s in self.live.items())
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+        for start, end in spans:
+            assert ARENA_BASE <= start and end <= ARENA_BASE + ARENA_SIZE
+        used = sum(s for s in self.live.values())
+        assert self.allocator.free_bytes() + used == ARENA_SIZE
+
+    def teardown(self):
+        for address in list(self.live):
+            self.allocator.free(address)
+        assert self.allocator.free_bytes() == ARENA_SIZE
+
+
+class MonitoredProgramMachine(RuleBasedStateMachine):
+    """A SafeMem-monitored program behaves like a dict of buffers."""
+
+    @initialize()
+    def boot(self):
+        machine = Machine(dram_size=16 * 1024 * 1024)
+        self.program = Program(machine, monitor=SafeMem(full_config()),
+                               heap_size=4 * 1024 * 1024)
+        self.model = {}
+        self.counter = 0
+
+    @rule(size=st.integers(min_value=1, max_value=512))
+    def malloc_and_fill(self, size):
+        address = self.program.malloc(size)
+        payload = bytes((self.counter + i) % 256 for i in range(size))
+        self.counter += 1
+        self.program.store(address, payload)
+        self.model[address] = payload
+
+    @precondition(lambda self: self.model)
+    @rule(index=st.integers(min_value=0, max_value=10 ** 6))
+    def free_one(self, index):
+        address = sorted(self.model)[index % len(self.model)]
+        self.program.free(address)
+        del self.model[address]
+
+    @precondition(lambda self: self.model)
+    @rule(index=st.integers(min_value=0, max_value=10 ** 6),
+          offset=st.integers(min_value=0, max_value=64))
+    def partial_update(self, index, offset):
+        address = sorted(self.model)[index % len(self.model)]
+        payload = self.model[address]
+        offset = min(offset, len(payload) - 1)
+        self.program.store(address + offset, b"\xf0")
+        self.model[address] = (payload[:offset] + b"\xf0"
+                               + payload[offset + 1:])
+
+    @precondition(lambda self: self.model)
+    @invariant()
+    def contents_match_model(self):
+        # Check one buffer per step (checking all is O(n^2) overall).
+        address = next(iter(self.model))
+        expected = self.model[address]
+        assert self.program.load(address, len(expected)) == expected
+
+    @invariant()
+    def no_reports_on_legal_program(self):
+        monitor = self.program.monitor
+        assert monitor.corruption_reports == []
+
+
+AllocatorMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None,
+)
+MonitoredProgramMachine.TestCase.settings = settings(
+    max_examples=10, stateful_step_count=20, deadline=None,
+)
+
+TestAllocatorStateful = AllocatorMachine.TestCase
+TestMonitoredProgramStateful = MonitoredProgramMachine.TestCase

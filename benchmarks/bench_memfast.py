@@ -1,0 +1,174 @@
+"""Micro-benchmark for the fast-path memory system.
+
+Measures simulator throughput (real ops/sec, not simulated cycles) for
+load/store traffic in three configurations:
+
+- ``fastpath``          -- normal machine, zero armed lines: the
+  short-circuit path + TLB + batched codec all active,
+- ``fastpath_disabled`` -- same machine with the short-circuit path
+  forced off: every access takes the full fault-retry walk,
+- ``armed_line``        -- one unrelated line is ECC-watched, which is
+  what disables the fast path in production (the paper's armed state).
+
+Writes ``BENCH_memfast.json`` at the repo root and prints a summary.
+Run directly (``python benchmarks/bench_memfast.py``) or through pytest
+(marked ``slow``, so the tier-1 run never pays for it).
+"""
+
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+import pytest
+
+from repro.common.constants import CACHE_LINE_SIZE, PAGE_SIZE
+from repro.machine.machine import Machine
+
+pytestmark = pytest.mark.slow
+
+BASE = 0x4000_0000
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_memfast.json"
+
+#: operations per timed phase.
+HOT_OPS = 40_000
+MISS_OPS = 4_000
+
+
+def _make_machine(armed=False, disable_fast_path=False):
+    machine = Machine(dram_size=8 * 1024 * 1024)
+    machine.kernel.mmap(BASE, 64 * PAGE_SIZE)
+    if armed:
+        # Watch one line far from the benchmark's working set; arming
+        # any line is what flips the machine off the short-circuit path.
+        victim = BASE + 63 * PAGE_SIZE
+        machine.store(victim, bytes(CACHE_LINE_SIZE))
+        machine.kernel.register_ecc_fault_handler(lambda info: False)
+        machine.kernel.watch_memory(victim, CACHE_LINE_SIZE)
+    if disable_fast_path:
+        machine._fast_path_enabled = False
+    return machine
+
+
+def _time(fn):
+    start = time.perf_counter()
+    ops = fn()
+    return ops / (time.perf_counter() - start)
+
+
+def _bench_hot_loads(machine):
+    # 16 hot lines in one page: after warmup every access is a TLB hit
+    # plus a cache hit -- the pure common-path cost.
+    addresses = [BASE + i * CACHE_LINE_SIZE for i in range(16)]
+    for address in addresses:
+        machine.store(address, bytes(8))
+
+    def run():
+        load = machine.load
+        for i in range(HOT_OPS):
+            load(addresses[i & 15], 8)
+        return HOT_OPS
+
+    return _time(run)
+
+
+def _bench_hot_stores(machine):
+    addresses = [BASE + i * CACHE_LINE_SIZE for i in range(16)]
+    for address in addresses:
+        machine.store(address, bytes(8))
+    payload = b"\xa5" * 8
+
+    def run():
+        store = machine.store
+        for i in range(HOT_OPS):
+            store(addresses[i & 15], payload)
+        return HOT_OPS
+
+    return _time(run)
+
+
+def _bench_miss_loads(machine):
+    # Working set far larger than the 256 KiB cache: every access is a
+    # line fill (plus eventual dirty write-backs), so throughput is
+    # dominated by the ECC codec -- the batched-codec showcase.
+    span = 48 * PAGE_SIZE
+    stride = 17 * CACHE_LINE_SIZE
+
+    def run():
+        load = machine.load
+        cursor = 0
+        for _ in range(MISS_OPS):
+            load(BASE + cursor, 8)
+            cursor = (cursor + stride) % span
+        return MISS_OPS
+
+    return _time(run)
+
+
+def _bench_config(**kwargs):
+    results = {}
+    machine = _make_machine(**kwargs)
+    results["hot_loads_ops_per_sec"] = _bench_hot_loads(machine)
+    results["hot_stores_ops_per_sec"] = _bench_hot_stores(machine)
+    results["miss_loads_ops_per_sec"] = _bench_miss_loads(machine)
+    results["perf_counters"] = machine.perf_counters()
+    return results
+
+
+def run_benchmark():
+    configs = {
+        "fastpath": _bench_config(),
+        "fastpath_disabled": _bench_config(disable_fast_path=True),
+        "armed_line": _bench_config(armed=True),
+    }
+    fast = configs["fastpath"]
+    slow = configs["fastpath_disabled"]
+    report = {
+        "benchmark": "memfast",
+        "hot_ops": HOT_OPS,
+        "miss_ops": MISS_OPS,
+        "configs": configs,
+        "speedup_unwatched_loads": (
+            fast["hot_loads_ops_per_sec"] / slow["hot_loads_ops_per_sec"]
+        ),
+        "speedup_unwatched_stores": (
+            fast["hot_stores_ops_per_sec"] / slow["hot_stores_ops_per_sec"]
+        ),
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_bench_memfast():
+    report = run_benchmark()
+    assert report["speedup_unwatched_loads"] >= 2.0
+    assert report["speedup_unwatched_stores"] >= 2.0
+
+
+def main():
+    report = run_benchmark()
+    fast = report["configs"]["fastpath"]
+    slow = report["configs"]["fastpath_disabled"]
+    armed = report["configs"]["armed_line"]
+    print(f"wrote {RESULT_PATH}")
+    for phase in ("hot_loads", "hot_stores", "miss_loads"):
+        key = f"{phase}_ops_per_sec"
+        print(
+            f"{phase:>11}: fastpath {fast[key]:>10.0f} ops/s | "
+            f"disabled {slow[key]:>10.0f} ops/s | "
+            f"armed {armed[key]:>10.0f} ops/s"
+        )
+    print(
+        f"unwatched speedup: loads "
+        f"{report['speedup_unwatched_loads']:.2f}x, stores "
+        f"{report['speedup_unwatched_stores']:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

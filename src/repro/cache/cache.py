@@ -81,6 +81,50 @@ class Cache:
             position += chunk_size
 
     # ------------------------------------------------------------------
+    # short-circuit access path (machine fast path)
+    # ------------------------------------------------------------------
+    def fast_read(self, paddr, size):
+        """Serve a single-line read from a resident line, else ``None``.
+
+        The caller guarantees ``[paddr, paddr+size)`` stays inside one
+        cache line.  Bookkeeping (hit count, LRU stamp, cycle charge)
+        matches :meth:`load` exactly, so taking this path never changes
+        the simulated statistics or timings -- only the Python overhead.
+        """
+        base = paddr - (paddr % CACHE_LINE_SIZE)
+        line = self._sets[
+            (base // CACHE_LINE_SIZE) % self.num_sets
+        ].get(base)
+        if line is None:
+            return None
+        self.hits += 1
+        self._tick += 1
+        line.stamp = self._tick
+        self._charge_hit()
+        offset = paddr - base
+        return bytes(line.data[offset:offset + size])
+
+    def fast_write(self, paddr, data):
+        """Write into a resident line; ``False`` when not resident.
+
+        Single-line only, same bookkeeping contract as :meth:`fast_read`.
+        """
+        base = paddr - (paddr % CACHE_LINE_SIZE)
+        line = self._sets[
+            (base // CACHE_LINE_SIZE) % self.num_sets
+        ].get(base)
+        if line is None:
+            return False
+        self.hits += 1
+        self._tick += 1
+        line.stamp = self._tick
+        self._charge_hit()
+        offset = paddr - base
+        line.data[offset:offset + len(data)] = data
+        line.dirty = True
+        return True
+
+    # ------------------------------------------------------------------
     # maintenance operations
     # ------------------------------------------------------------------
     def flush_line(self, paddr):

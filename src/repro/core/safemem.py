@@ -60,7 +60,10 @@ class SafeMem(Monitor):
             self.leak.on_exit()
         if self.corruption is not None:
             self.corruption.on_exit()
-        self.watcher.unwatch_all()
+        if self.watcher is not None:
+            # A monitor that was never attached has no watch manager
+            # (and nothing armed); exiting must not crash.
+            self.watcher.unwatch_all()
 
     # ------------------------------------------------------------------
     # allocation interposition
@@ -131,11 +134,22 @@ class SafeMem(Monitor):
 
         def wrapped_alloc(*args, **kwargs):
             address = alloc_fn(*args, **kwargs)
+            if address is None:
+                # Failed allocation (e.g. exhausted pool): nothing to
+                # track, and the caller sees the failure unchanged.
+                return None
             self.leak.on_alloc(address, object_size,
                                self.program.stack.signature())
             return address
 
         def wrapped_free(address, *args, **kwargs):
+            if address is None:
+                # Mirror libc's free(NULL): a guaranteed no-op.  Without
+                # this, a failed wrapped_alloc whose None return is
+                # passed back to free would register a phantom free and
+                # hit the underlying allocator with an address it never
+                # issued.
+                return None
             self.leak.on_free(address)
             return free_fn(address, *args, **kwargs)
 
@@ -178,15 +192,29 @@ class SafeMem(Monitor):
         return waste / requested
 
     def statistics(self):
-        """A flat summary dict for experiment harnesses."""
-        stats = {
-            "watch_arms": self.watcher.arm_count,
-            "watch_disarms": self.watcher.disarm_count,
-            "pin_failures": self.watcher.pin_failures,
-            "hardware_errors_repaired":
-                self.watcher.hardware_errors_repaired,
-            "space_overhead": self.space_overhead_fraction(),
-        }
+        """A flat summary dict for experiment harnesses.
+
+        Safe to call before attach: watcher-derived entries report
+        zero and machine perf counters are omitted.
+        """
+        if self.watcher is not None:
+            stats = {
+                "watch_arms": self.watcher.arm_count,
+                "watch_disarms": self.watcher.disarm_count,
+                "pin_failures": self.watcher.pin_failures,
+                "hardware_errors_repaired":
+                    self.watcher.hardware_errors_repaired,
+            }
+        else:
+            stats = {
+                "watch_arms": 0,
+                "watch_disarms": 0,
+                "pin_failures": 0,
+                "hardware_errors_repaired": 0,
+            }
+        stats["space_overhead"] = self.space_overhead_fraction()
+        if self.program is not None:
+            stats.update(self.program.machine.perf_counters())
         if self.leak is not None:
             stats.update(
                 leak_reports=len(self.leak.reports),

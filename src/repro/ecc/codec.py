@@ -19,7 +19,7 @@ extends single-error correction to double-error detection.
 from dataclasses import dataclass
 from enum import Enum
 
-from repro.common.constants import ECC_GROUP_BITS
+from repro.common.constants import ECC_GROUP_BITS, ECC_GROUP_BYTES
 from repro.common.errors import ConfigurationError
 
 #: Codeword positions occupied by Hamming parity bits.
@@ -46,6 +46,34 @@ DATA_POSITIONS = _data_positions()
 POSITION_TO_DATA = {pos: i for i, pos in enumerate(DATA_POSITIONS)}
 
 
+def _build_byte_syndromes():
+    """Per-byte lookup tables for vectorised encoding.
+
+    ``_BYTE_SYNDROMES[b][v]`` is the XOR of the codeword positions of
+    every set bit when byte value ``v`` occupies data byte ``b`` of the
+    64-bit group.  Because the Hamming parity positions are exactly the
+    powers of two, the low 7 bits of that XOR *are* the check bits, so
+    encoding a group reduces to eight table lookups.
+    """
+    tables = []
+    for byte_index in range(ECC_GROUP_BITS // 8):
+        table = []
+        for value in range(256):
+            syndrome = 0
+            for bit in range(8):
+                if (value >> bit) & 1:
+                    syndrome ^= DATA_POSITIONS[byte_index * 8 + bit]
+            table.append(syndrome)
+        tables.append(tuple(table))
+    return tuple(tables)
+
+
+_BYTE_SYNDROMES = _build_byte_syndromes()
+
+#: Parity (popcount & 1) of every byte value.
+_BYTE_PARITY = tuple(bin(value).count("1") & 1 for value in range(256))
+
+
 class DecodeStatus(Enum):
     """Outcome of decoding one ECC group."""
 
@@ -66,6 +94,42 @@ class DecodeResult:
     def faulted(self):
         """True when the group holds an uncorrectable error."""
         return self.status is DecodeStatus.UNCORRECTABLE
+
+
+def _build_decode_actions():
+    """Memoised decode classification.
+
+    Index ``(syndrome << 1) | parity_mismatch`` -> ``(status, flip_bit)``
+    where ``flip_bit`` is the data bit to correct (or ``None``).  The
+    syndrome fits in 7 bits, so the whole decision table has 256 rows
+    and the per-read decode is a single lookup instead of a branch
+    cascade.
+    """
+    actions = []
+    for syndrome in range(128):
+        for parity_mismatch in (False, True):
+            if syndrome == 0:
+                status = (DecodeStatus.CORRECTED if parity_mismatch
+                          else DecodeStatus.OK)
+                actions.append((status, None))
+            elif parity_mismatch:
+                # Odd number of flipped bits; a single-bit error iff the
+                # syndrome names a real codeword position.  A syndrome
+                # naming a parity position means the flipped bit was a
+                # check bit; data needs no change either way.
+                if syndrome <= MAX_POSITION:
+                    actions.append((DecodeStatus.CORRECTED,
+                                    POSITION_TO_DATA.get(syndrome)))
+                else:
+                    actions.append((DecodeStatus.UNCORRECTABLE, None))
+            else:
+                # Even number of flipped bits with a non-zero syndrome:
+                # a detectable (but uncorrectable) double-bit error.
+                actions.append((DecodeStatus.UNCORRECTABLE, None))
+    return tuple(actions)
+
+
+_DECODE_ACTIONS = _build_decode_actions()
 
 
 class SecDedCodec:
@@ -91,20 +155,46 @@ class SecDedCodec:
         """
         self._require_word(data)
         syndrome = 0
-        ones = 0
-        for index in range(self.group_bits):
-            if (data >> index) & 1:
-                syndrome ^= DATA_POSITIONS[index]
-                ones += 1
-        check = 0
-        parity_ones = 0
-        for bit, position in enumerate(PARITY_POSITIONS):
-            if (syndrome >> bit) & 1:
-                check |= 1 << bit
-                parity_ones += 1
-        overall = (ones + parity_ones) & 1
-        check |= overall << 7
-        return check
+        data_parity = 0
+        word = data
+        for table in _BYTE_SYNDROMES:
+            value = word & 0xFF
+            syndrome ^= table[value]
+            data_parity ^= _BYTE_PARITY[value]
+            word >>= 8
+        # The parity positions are the powers of two, so syndrome bit b
+        # is exactly check bit b.
+        hamming = syndrome & 0x7F
+        overall = data_parity ^ _BYTE_PARITY[hamming]
+        return hamming | (overall << 7)
+
+    def encode_words(self, data):
+        """Batch-encode: one check byte per 64-bit group of ``data``.
+
+        Operates directly on the byte string (no per-group int
+        conversion); this is the path the memory controller uses for
+        whole-cache-line fills and write-backs.
+        """
+        if len(data) % ECC_GROUP_BYTES:
+            raise ConfigurationError(
+                f"batch encode needs a multiple of {ECC_GROUP_BYTES} "
+                f"bytes, got {len(data)}"
+            )
+        syndromes = _BYTE_SYNDROMES
+        parities = _BYTE_PARITY
+        out = bytearray(len(data) // ECC_GROUP_BYTES)
+        base = 0
+        for group in range(len(out)):
+            syndrome = 0
+            data_parity = 0
+            for byte_index in range(ECC_GROUP_BYTES):
+                value = data[base + byte_index]
+                syndrome ^= syndromes[byte_index][value]
+                data_parity ^= parities[value]
+            hamming = syndrome & 0x7F
+            out[group] = hamming | ((data_parity ^ parities[hamming]) << 7)
+            base += ECC_GROUP_BYTES
+        return bytes(out)
 
     # ------------------------------------------------------------------
     # decoding
@@ -129,40 +219,11 @@ class SecDedCodec:
         recomputed_overall = self._codeword_parity(data, check & 0x7F)
         parity_mismatch = stored_overall != recomputed_overall
 
-        if syndrome == 0 and not parity_mismatch:
-            return DecodeResult(data=data, status=DecodeStatus.OK)
-
-        if syndrome == 0 and parity_mismatch:
-            # The overall parity bit itself flipped; data is intact.
-            return DecodeResult(
-                data=data, status=DecodeStatus.CORRECTED, syndrome=0
-            )
-
-        if parity_mismatch:
-            # Odd number of flipped bits; a single-bit error iff the
-            # syndrome names a real codeword position.
-            if syndrome <= MAX_POSITION:
-                corrected = data
-                if syndrome in POSITION_TO_DATA:
-                    corrected = data ^ (1 << POSITION_TO_DATA[syndrome])
-                # A syndrome naming a parity position means the flipped
-                # bit was a check bit; data needs no change either way.
-                return DecodeResult(
-                    data=corrected,
-                    status=DecodeStatus.CORRECTED,
-                    syndrome=syndrome,
-                )
-            return DecodeResult(
-                data=data,
-                status=DecodeStatus.UNCORRECTABLE,
-                syndrome=syndrome,
-            )
-
-        # Even number of flipped bits with a non-zero syndrome: a
-        # detectable (but uncorrectable) double-bit error.
-        return DecodeResult(
-            data=data, status=DecodeStatus.UNCORRECTABLE, syndrome=syndrome
-        )
+        # The (syndrome, parity-mismatch) pair fully classifies the
+        # error; the per-pair action is memoised in _DECODE_ACTIONS.
+        status, flip_bit = _DECODE_ACTIONS[(syndrome << 1) | parity_mismatch]
+        corrected = data if flip_bit is None else data ^ (1 << flip_bit)
+        return DecodeResult(data=corrected, status=status, syndrome=syndrome)
 
     # ------------------------------------------------------------------
     # helpers

@@ -62,6 +62,10 @@ class MemoryController:
         self.uncorrectable_errors = 0
         self.reads = 0
         self.writes = 0
+        #: perf counters for the batched (whole-line) codec path.
+        self.clean_line_reads = 0
+        self.group_decodes = 0
+        self.batched_line_writes = 0
 
     # ------------------------------------------------------------------
     # mode and window control
@@ -117,13 +121,25 @@ class MemoryController:
         """
         self._require_line(address)
         self.reads += 1
+        data, checks = self.dram.read_groups(address, GROUPS_PER_LINE)
+        if not self.checking_active:
+            return data
+        # Fast path: re-encode the whole line in one batched pass and
+        # compare against the stored check bytes.  A clean line (the
+        # overwhelmingly common case) never enters the per-group decode
+        # loop below.
+        if self.codec.encode_words(data) == checks:
+            self.clean_line_reads += 1
+            return data
         out = bytearray()
-        for offset in range(0, CACHE_LINE_SIZE, ECC_GROUP_BYTES):
+        for index in range(GROUPS_PER_LINE):
+            offset = index * ECC_GROUP_BYTES
             group_addr = address + offset
-            word, check = self.dram.read_group(group_addr)
-            if not self.checking_active:
-                out += word.to_bytes(ECC_GROUP_BYTES, "little")
-                continue
+            word = int.from_bytes(
+                data[offset:offset + ECC_GROUP_BYTES], "little"
+            )
+            check = checks[index]
+            self.group_decodes += 1
             result = self.codec.decode(word, check)
             if result.status is DecodeStatus.CORRECTED:
                 self.corrected_errors += 1
@@ -172,16 +188,14 @@ class MemoryController:
                 f"got {len(data)}"
             )
         self.writes += 1
-        for index in range(GROUPS_PER_LINE):
-            offset = index * ECC_GROUP_BYTES
-            word = int.from_bytes(
-                data[offset:offset + ECC_GROUP_BYTES], "little"
-            )
-            group_addr = address + offset
-            if self.ecc_enabled:
-                self.dram.write_group(group_addr, word, self.codec.encode(word))
-            else:
-                self.dram.write_group_data_only(group_addr, word)
+        if self.ecc_enabled:
+            # Batched path: check bytes for the whole line in one
+            # vectorised pass, one burst store for data + codes.
+            self.dram.write_groups(address, data,
+                                   self.codec.encode_words(data))
+            self.batched_line_writes += 1
+        else:
+            self.dram.write_groups_data_only(address, data)
 
     # ------------------------------------------------------------------
     # scrubbing support (used by repro.ecc.scrubber)

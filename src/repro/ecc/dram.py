@@ -67,6 +67,53 @@ class PhysicalMemory:
             ECC_GROUP_BYTES, "little"
         )
 
+    # ------------------------------------------------------------------
+    # batched group access (cache-line transfers)
+    # ------------------------------------------------------------------
+    def read_groups(self, address, count):
+        """Return ``(data, checks)`` for ``count`` consecutive groups.
+
+        One slice each for the data bytes and the check bytes -- the
+        burst transfer a real controller performs for a cache-line fill,
+        instead of ``count`` separate :meth:`read_group` calls.
+        """
+        self._require_group(address)
+        length = count * ECC_GROUP_BYTES
+        self._require_range(address, length)
+        first = address // ECC_GROUP_BYTES
+        return (
+            bytes(self._data[address:address + length]),
+            bytes(self._check[first:first + count]),
+        )
+
+    def write_groups(self, address, data, checks):
+        """Store consecutive groups and their check bytes in one burst."""
+        self._require_group(address)
+        self._require_range(address, len(data))
+        if len(data) != len(checks) * ECC_GROUP_BYTES:
+            raise BusError(
+                f"{len(data)} data bytes need {len(data) // ECC_GROUP_BYTES}"
+                f" check bytes, got {len(checks)}"
+            )
+        self._data[address:address + len(data)] = data
+        first = address // ECC_GROUP_BYTES
+        self._check[first:first + len(checks)] = checks
+
+    def write_groups_data_only(self, address, data):
+        """Burst-store data while leaving all check bytes untouched.
+
+        The batched counterpart of :meth:`write_group_data_only`; only
+        reachable while the controller has ECC disabled.
+        """
+        self._require_group(address)
+        self._require_range(address, len(data))
+        if len(data) % ECC_GROUP_BYTES:
+            raise BusError(
+                f"data-only burst must be a multiple of {ECC_GROUP_BYTES} "
+                f"bytes, got {len(data)}"
+            )
+        self._data[address:address + len(data)] = data
+
     def read_check(self, address):
         """Return the stored check byte of the group at ``address``."""
         self._require_group(address)

@@ -34,6 +34,11 @@ for _position in SCRAMBLE_BIT_POSITIONS:
     SCRAMBLE_MASK |= 1 << _position
 del _position
 
+#: The 8-byte scramble mask, replicated per region length on demand so
+#: a whole region scrambles in one wide XOR instead of a per-group loop.
+_SCRAMBLE_MASK_BYTES = SCRAMBLE_MASK.to_bytes(ECC_GROUP_BYTES, "little")
+_WIDE_MASKS = {}
+
 
 def scramble_bytes(data):
     """Apply (or undo -- XOR is an involution) the scramble signature.
@@ -46,11 +51,14 @@ def scramble_bytes(data):
         raise SyscallError(
             f"scramble data must be a multiple of {ECC_GROUP_BYTES} bytes"
         )
-    out = bytearray()
-    for offset in range(0, len(data), ECC_GROUP_BYTES):
-        word = int.from_bytes(data[offset:offset + ECC_GROUP_BYTES], "little")
-        out += (word ^ SCRAMBLE_MASK).to_bytes(ECC_GROUP_BYTES, "little")
-    return bytes(out)
+    mask = _WIDE_MASKS.get(len(data))
+    if mask is None:
+        mask = int.from_bytes(
+            _SCRAMBLE_MASK_BYTES * (len(data) // ECC_GROUP_BYTES), "little"
+        )
+        _WIDE_MASKS[len(data)] = mask
+    value = int.from_bytes(data, "little") ^ mask
+    return value.to_bytes(len(data), "little")
 
 
 class Kernel:
@@ -205,6 +213,9 @@ class Kernel:
                 self.mmu.frames.release(entry.pfn)
             if entry.in_swap:
                 self.mmu.swap.drop(entry.vpn)
+        # TLB shoot-down: cached translations for the unmapped pages
+        # would otherwise keep serving stale frames.
+        self.mmu.tlb_invalidate_range(vaddr, size)
 
     def mprotect(self, vaddr, size, prot):
         """Change protection bits -- the page-granularity guard primitive."""
@@ -221,6 +232,9 @@ class Kernel:
             if entry is None:
                 raise SyscallError(f"mprotect on unmapped page {vpn:#x}")
             entry.prot = prot
+        # TLB shoot-down: the TLB snapshots protection bits, so a
+        # narrowed mapping must not keep serving from a stale entry.
+        self.mmu.tlb_invalidate_range(vaddr, size)
 
     def register_segv_handler(self, handler):
         """Install a user-level protection-fault (SIGSEGV) handler.

@@ -50,12 +50,30 @@ class WatchRegistry:
         self._regions = {}
         self._by_vline = {}
         self._by_pline = {}
+        #: Called with the registry after every add/remove.  The machine
+        #: registers a listener here to disable its short-circuit access
+        #: path the moment any line is armed -- the hook that keeps the
+        #: fast path from ever swallowing a watchpoint fault.
+        self._listeners = []
 
     def __len__(self):
         return len(self._regions)
 
     def __iter__(self):
         return iter(self._regions.values())
+
+    @property
+    def armed_line_count(self):
+        """Number of cache lines currently armed across all regions."""
+        return len(self._by_vline)
+
+    def add_listener(self, listener):
+        """Register a callback invoked (with the registry) on changes."""
+        self._listeners.append(listener)
+
+    def _notify(self):
+        for listener in self._listeners:
+            listener(self)
 
     def add(self, region):
         if region.vaddr in self._regions:
@@ -71,6 +89,7 @@ class WatchRegistry:
         for vline, pline in region.lines.items():
             self._by_vline[vline] = region
             self._by_pline[pline] = (region, vline)
+        self._notify()
 
     def remove(self, vaddr):
         region = self._regions.pop(vaddr, None)
@@ -79,6 +98,7 @@ class WatchRegistry:
         for vline, pline in region.lines.items():
             self._by_vline.pop(vline, None)
             self._by_pline.pop(pline, None)
+        self._notify()
         return region
 
     def get(self, vaddr):

@@ -13,9 +13,20 @@ from repro.common.errors import PageFault, ProtectionFault
 from repro.mmu.pagetable import PROT_READ, PROT_WRITE
 from repro.mmu.swap import EvictionPolicy
 
+#: Entries in the software TLB (direct-mapped, indexed by vpn % size).
+TLB_SIZE = 64
+
 
 class Mmu:
-    """Translates virtual addresses and services demand/swap faults."""
+    """Translates virtual addresses and services demand/swap faults.
+
+    Translation goes through a small direct-mapped software TLB: a hit
+    serves the physical frame base from a cached snapshot instead of
+    walking the page table.  Because the TLB caches the frame base and
+    protection bits *by value*, every operation that changes a mapping
+    (munmap, mprotect, swap eviction) must explicitly invalidate the
+    affected entries -- the same shoot-down contract real hardware has.
+    """
 
     def __init__(self, page_table, frame_allocator, swap, dram, cache,
                  controller):
@@ -26,11 +37,18 @@ class Mmu:
         self.cache = cache
         self.controller = controller
         self.evictor = EvictionPolicy(
-            page_table, frame_allocator, swap, dram, cache
+            page_table, frame_allocator, swap, dram, cache,
+            invalidate_translation=self.tlb_invalidate_page,
         )
         self._stamp = 0
         self.demand_fills = 0
         self.swap_in_faults = 0
+        #: TLB slot: ``(vpn, frame_base, prot, entry)`` or ``None``.
+        self._tlb = [None] * TLB_SIZE
+        self.tlb_hits = 0
+        self.tlb_misses = 0
+        self.tlb_invalidations = 0
+        self.tlb_flushes = 0
 
     # ------------------------------------------------------------------
     # translation
@@ -42,6 +60,38 @@ class Mmu:
         :class:`ProtectionFault` when the page's protection bits forbid
         the access (the mprotect-guard path).
         """
+        vpn, offset = divmod(vaddr, PAGE_SIZE)
+        slot = self._tlb[vpn % TLB_SIZE]
+        if (slot is not None and slot[0] == vpn
+                and slot[2] & (PROT_WRITE if write else PROT_READ)):
+            self.tlb_hits += 1
+            self._stamp += 1
+            slot[3].last_access = self._stamp
+            return slot[1] + offset
+        self.tlb_misses += 1
+        return self._translate_slow(vaddr, write)
+
+    def translate_fast(self, vaddr, write=False):
+        """TLB-hit-only translation: the physical address, or ``None``.
+
+        Never walks the page table, pages anything in, or raises; the
+        machine's short-circuit access path uses this and falls back to
+        :meth:`translate` on ``None``.  (A hit here that later falls
+        back -- e.g. because the cache line was not resident -- counts
+        one extra ``tlb_hits``; the access itself stays correct.)
+        """
+        vpn, offset = divmod(vaddr, PAGE_SIZE)
+        slot = self._tlb[vpn % TLB_SIZE]
+        if (slot is not None and slot[0] == vpn
+                and slot[2] & (PROT_WRITE if write else PROT_READ)):
+            self.tlb_hits += 1
+            self._stamp += 1
+            slot[3].last_access = self._stamp
+            return slot[1] + offset
+        return None
+
+    def _translate_slow(self, vaddr, write):
+        """Full page-table walk; refills the TLB on success."""
         entry = self.page_table.lookup(vaddr)
         if entry is None:
             raise PageFault(vaddr)
@@ -52,7 +102,42 @@ class Mmu:
             self._bring_in(entry)
         self._stamp += 1
         entry.last_access = self._stamp
-        return entry.pfn * PAGE_SIZE + (vaddr % PAGE_SIZE)
+        frame_base = entry.pfn * PAGE_SIZE
+        self._tlb[entry.vpn % TLB_SIZE] = (
+            entry.vpn, frame_base, entry.prot, entry
+        )
+        return frame_base + (vaddr % PAGE_SIZE)
+
+    # ------------------------------------------------------------------
+    # TLB maintenance (the shoot-down contract)
+    # ------------------------------------------------------------------
+    def tlb_invalidate_page(self, vpn):
+        """Drop the cached translation for one virtual page number."""
+        index = vpn % TLB_SIZE
+        slot = self._tlb[index]
+        if slot is not None and slot[0] == vpn:
+            self._tlb[index] = None
+            self.tlb_invalidations += 1
+
+    def tlb_invalidate_range(self, vaddr, size):
+        """Drop cached translations for every page in the range."""
+        first = vaddr // PAGE_SIZE
+        last = (vaddr + size - 1) // PAGE_SIZE
+        for vpn in range(first, last + 1):
+            self.tlb_invalidate_page(vpn)
+
+    def tlb_flush(self):
+        """Drop every cached translation (full shoot-down)."""
+        self._tlb = [None] * TLB_SIZE
+        self.tlb_flushes += 1
+
+    def tlb_lookup(self, vaddr):
+        """Current TLB snapshot for ``vaddr`` (test/introspection aid)."""
+        vpn = vaddr // PAGE_SIZE
+        slot = self._tlb[vpn % TLB_SIZE]
+        if slot is not None and slot[0] == vpn:
+            return slot
+        return None
 
     def resident_frame(self, vaddr):
         """Physical address of ``vaddr`` if resident, else ``None``.

@@ -49,12 +49,16 @@ class SwapDevice:
 class EvictionPolicy:
     """LRU eviction over resident, unpinned pages."""
 
-    def __init__(self, page_table, frame_allocator, swap, dram, cache):
+    def __init__(self, page_table, frame_allocator, swap, dram, cache,
+                 invalidate_translation=None):
         self.page_table = page_table
         self.frames = frame_allocator
         self.swap = swap
         self.dram = dram
         self.cache = cache
+        #: Called with the victim's vpn on every eviction so the MMU can
+        #: shoot down its (now stale) cached translation.
+        self.invalidate_translation = invalidate_translation
 
     def obtain_frame(self):
         """Return a free frame, evicting the LRU unpinned page if needed."""
@@ -95,3 +99,5 @@ class EvictionPolicy:
         entry.pfn = None
         entry.present = False
         entry.in_swap = True
+        if self.invalidate_translation is not None:
+            self.invalidate_translation(entry.vpn)

@@ -28,6 +28,7 @@ import pytest
 
 from repro.common.constants import CACHE_LINE_SIZE, PAGE_SIZE
 from repro.machine.machine import Machine
+from repro.obs.export import snapshot_document
 
 pytestmark = pytest.mark.slow
 
@@ -110,21 +111,29 @@ def _bench_miss_loads(machine):
     return _time(run)
 
 
-def _bench_config(**kwargs):
+def _bench_config(name, **kwargs):
     results = {}
     machine = _make_machine(**kwargs)
+    start = machine.metrics.snapshot()
     results["hot_loads_ops_per_sec"] = _bench_hot_loads(machine)
     results["hot_stores_ops_per_sec"] = _bench_hot_stores(machine)
     results["miss_loads_ops_per_sec"] = _bench_miss_loads(machine)
-    results["perf_counters"] = machine.perf_counters()
+    # The timed phases' counters, as a repro.metrics/v1 document
+    # (snapshot delta, so setup traffic from _make_machine and the
+    # warmup stores is excluded).
+    results["metrics"] = snapshot_document(
+        machine.metrics.snapshot() - start,
+        meta={"benchmark": "memfast", "config": name},
+    )
     return results
 
 
 def run_benchmark():
     configs = {
-        "fastpath": _bench_config(),
-        "fastpath_disabled": _bench_config(disable_fast_path=True),
-        "armed_line": _bench_config(armed=True),
+        "fastpath": _bench_config("fastpath"),
+        "fastpath_disabled": _bench_config("fastpath_disabled",
+                                           disable_fast_path=True),
+        "armed_line": _bench_config("armed_line", armed=True),
     }
     fast = configs["fastpath"]
     slow = configs["fastpath_disabled"]

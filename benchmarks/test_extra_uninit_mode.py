@@ -36,8 +36,8 @@ def test_uninit_mode_cost(benchmark):
         assert run.truth.detection is None
         overhead = overhead_percent(run.cycles, native.cycles)
         overheads[mode] = overhead
-        stats = run.monitor.statistics()
-        rows.append((mode, f"{overhead:.2f}%", stats["watch_arms"]))
+        rows.append((mode, f"{overhead:.2f}%",
+                     run.metrics["safemem.watch.arms"]))
 
     publish("extra_uninit_mode", render_table(
         f"Supplementary: uninitialized-read extension cost ({APP})",

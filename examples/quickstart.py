@@ -37,7 +37,10 @@ def main():
 
     # The monitoring cost so far, in simulated CPU time:
     print(f"simulated CPU time: {machine.clock.cpu_microseconds:.1f} us")
-    print("safemem statistics:", safemem.statistics())
+    telemetry = safemem.telemetry()
+    print("safemem metrics:")
+    for name, value in sorted(telemetry.filtered("safemem.").items()):
+        print(f"  {name} = {value}")
 
 
 if __name__ == "__main__":

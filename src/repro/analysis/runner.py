@@ -25,7 +25,12 @@ CACHE_SIZE = 2 * 1024 * 1024
 
 @dataclass
 class RunResult:
-    """Outcome of one (workload, monitor, mode) run."""
+    """Outcome of one (workload, monitor, mode) run.
+
+    ``cycles`` and ``metrics`` are *per-run deltas*: when a machine is
+    reused across workloads they cover only this run, not the
+    machine's lifetime totals.
+    """
 
     workload: str
     monitor_name: str
@@ -36,6 +41,9 @@ class RunResult:
     machine: object
     program: object = None
     requests: int = 0
+    #: registry snapshot delta over this run (a Snapshot; counters are
+    #: per-run, gauges are end-of-run values).
+    metrics: object = None
     extra: dict = field(default_factory=dict)
 
     @property
@@ -74,7 +82,7 @@ def make_monitor(name):
 def run_workload(workload_name, monitor_name="native", buggy=False,
                  requests=None, seed=0, dram_size=DRAM_SIZE,
                  heap_size=HEAP_SIZE, cache_size=CACHE_SIZE,
-                 monitor=None):
+                 monitor=None, machine=None, release=False):
     """Run one workload under one monitor; return a :class:`RunResult`.
 
     ``buggy=False`` is the paper's overhead-measurement setting (normal
@@ -82,24 +90,39 @@ def run_workload(workload_name, monitor_name="native", buggy=False,
     Pass ``monitor`` to use a pre-built monitor instance (e.g. a
     SafeMem with a non-default config); ``monitor_name`` is then only
     used as the label.
+
+    Pass ``machine`` to reuse a booted machine across workloads.  The
+    result's ``cycles`` and ``metrics`` are registry snapshot deltas
+    bracketing this run, so earlier runs on the same machine cannot
+    skew its accounting.  The previous program's address space must
+    have been released (``release=True`` does it for this run's
+    program once the workload finishes).
     """
-    machine = Machine(dram_size=dram_size, cache_size=cache_size,
-                      cache_ways=16)
+    if machine is None:
+        machine = Machine(dram_size=dram_size, cache_size=cache_size,
+                          cache_ways=16)
     if monitor is None:
         monitor = make_monitor(monitor_name)
+    start = machine.metrics.snapshot()
     program = Program(machine, monitor=monitor, heap_size=heap_size)
     workload = get_workload(workload_name, requests=requests, seed=seed)
-    truth = workload.run(program, buggy=buggy)
+    with machine.tracer.span(f"workload.{workload_name}",
+                             monitor=monitor_name, buggy=buggy):
+        truth = workload.run(program, buggy=buggy)
+    if release:
+        program.release()
+    end = machine.metrics.snapshot()
     return RunResult(
         workload=workload_name,
         monitor_name=monitor_name,
         buggy=buggy,
-        cycles=machine.clock.cycles,
+        cycles=end.cycle - start.cycle,
         truth=truth,
         monitor=monitor,
         machine=machine,
         program=program,
         requests=workload.requests,
+        metrics=end.delta(start),
     )
 
 

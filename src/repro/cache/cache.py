@@ -14,6 +14,7 @@ go through the ECC controller (and may therefore raise ECC faults).
 
 from repro.common.constants import CACHE_LINE_SIZE, line_base
 from repro.common.errors import ConfigurationError
+from repro.obs.metrics import attr_reader as _attr_reader
 
 
 class _Line:
@@ -32,7 +33,8 @@ class Cache:
     """Physically-indexed, physically-tagged write-back cache."""
 
     def __init__(self, controller, size=64 * 1024, ways=8,
-                 clock=None, cost_model=None):
+                 clock=None, cost_model=None, metrics=None,
+                 level="l1"):
         if size % (ways * CACHE_LINE_SIZE):
             raise ConfigurationError(
                 f"cache size {size} not divisible into {ways}-way sets of "
@@ -45,11 +47,32 @@ class Cache:
         self._tick = 0
         self.clock = clock
         self.cost_model = cost_model
+        self.level = level
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.writebacks = 0
         self.flushes = 0
+        if metrics is not None:
+            self.register_metrics(metrics)
+
+    def register_metrics(self, metrics):
+        """Publish ``cache.<level>.*`` probes into a metrics registry."""
+        prefix = f"cache.{self.level}"
+        for name, attr in (
+            (f"{prefix}.hit", "hits"),
+            (f"{prefix}.miss", "misses"),
+            (f"{prefix}.eviction", "evictions"),
+            (f"{prefix}.writeback", "writebacks"),
+            (f"{prefix}.flush", "flushes"),
+        ):
+            metrics.probe(name, _attr_reader(self, attr),
+                          kind="counter")
+        metrics.probe(
+            f"{prefix}.resident_lines",
+            lambda: sum(len(s) for s in self._sets),
+            kind="gauge",
+        )
 
     # ------------------------------------------------------------------
     # program-visible access path

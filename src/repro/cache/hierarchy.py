@@ -40,14 +40,21 @@ class CacheHierarchy:
 
     def __init__(self, controller, l1_size=16 * 1024, l1_ways=4,
                  l2_size=256 * 1024, l2_ways=8, clock=None,
-                 cost_model=None):
+                 cost_model=None, metrics=None):
         # Only L1 charges the per-access hit cost; L2 charges its own
         # miss penalty through the shared cost hooks.
         self.l2 = Cache(controller, size=l2_size, ways=l2_ways,
-                        clock=clock, cost_model=cost_model)
+                        clock=clock, cost_model=cost_model,
+                        metrics=metrics, level="l2")
         self.l1 = Cache(_LevelBackend(self.l2), size=l1_size,
-                        ways=l1_ways, clock=clock, cost_model=cost_model)
+                        ways=l1_ways, clock=clock, cost_model=cost_model,
+                        metrics=metrics, level="l1")
         self.controller = controller
+
+    def register_metrics(self, metrics):
+        """Publish both levels' ``cache.l1.*`` / ``cache.l2.*`` probes."""
+        self.l1.register_metrics(metrics)
+        self.l2.register_metrics(metrics)
 
     # ------------------------------------------------------------------
     # Cache-compatible interface

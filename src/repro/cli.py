@@ -6,7 +6,11 @@ Commands:
   regenerate one experiment and print the paper-style table;
 - ``report``  runs everything and prints a combined report;
 - ``run``     runs one workload under one monitor and prints a summary;
+- ``stats``   runs one workload and prints its metrics snapshot;
 - ``list``    shows the available workloads and monitors.
+
+``run`` and ``stats`` accept ``--emit-metrics PATH`` to write the run's
+registry snapshot as a ``repro.metrics/v1`` JSON document.
 """
 
 import argparse
@@ -25,6 +29,11 @@ from repro.analysis.runner import (
     overhead_percent,
     run_workload,
     slowdown_factor,
+)
+from repro.obs.export import (
+    render_metrics_table,
+    render_span_tree,
+    write_metrics_json,
 )
 from repro.workloads.registry import WORKLOADS, all_workload_names
 
@@ -73,9 +82,57 @@ def build_parser():
         "--groups", action="store_true",
         help="print SafeMem diagnostics (object groups, watches)",
     )
+    run_parser.add_argument(
+        "--emit-metrics", metavar="PATH", default=None,
+        help="write the run's metrics as repro.metrics/v1 JSON",
+    )
+
+    stats_parser = sub.add_parser(
+        "stats",
+        help="run one workload and print its metrics snapshot",
+    )
+    stats_parser.add_argument("workload", choices=all_workload_names())
+    stats_parser.add_argument(
+        "--monitor", default="safemem",
+        choices=sorted(MONITOR_FACTORIES),
+    )
+    stats_parser.add_argument("--buggy", action="store_true",
+                              help="use the bug-triggering input")
+    stats_parser.add_argument("--requests", type=int, default=None)
+    stats_parser.add_argument("--seed", type=int, default=0)
+    stats_parser.add_argument(
+        "--prefix", default=None,
+        help="only metrics in one namespace (e.g. mmu. or safemem.)",
+    )
+    stats_parser.add_argument(
+        "--spans", action="store_true",
+        help="also print the span flight recorder",
+    )
+    stats_parser.add_argument(
+        "--emit-metrics", metavar="PATH", default=None,
+        help="write the run's metrics as repro.metrics/v1 JSON",
+    )
 
     sub.add_parser("list", help="list workloads and monitors")
     return parser
+
+
+def _emit_metrics(path, result, out):
+    """Write one run's delta snapshot through the exporter schema."""
+    document = write_metrics_json(
+        path,
+        result.metrics,
+        spans=result.machine.tracer.flight_record(),
+        meta={
+            "workload": result.workload,
+            "monitor": result.monitor_name,
+            "buggy": result.buggy,
+            "requests": result.requests,
+        },
+    )
+    out.write(f"metrics:   {path} "
+              f"({len(document['metrics'])} metrics, "
+              f"{len(document.get('spans', []))} spans)\n")
 
 
 def command_run(args, out):
@@ -125,6 +182,25 @@ def command_run(args, out):
     if getattr(args, "groups", False) and hasattr(monitor, "watcher"):
         from repro.core.diagnostics import render_safemem_diagnostics
         out.write("\n" + render_safemem_diagnostics(monitor) + "\n")
+    if args.emit_metrics:
+        _emit_metrics(args.emit_metrics, result, out)
+    return 0
+
+
+def command_stats(args, out):
+    result = run_workload(args.workload, args.monitor,
+                          buggy=args.buggy, requests=args.requests,
+                          seed=args.seed)
+    title = (f"{args.workload}/{args.monitor} "
+             f"({'buggy' if args.buggy else 'normal'} input)")
+    out.write(render_metrics_table(result.metrics, title=title,
+                                   prefix=args.prefix) + "\n")
+    if args.spans:
+        spans = result.machine.tracer.flight_record()
+        out.write(f"\nrecent spans ({len(spans)}):\n")
+        out.write(render_span_tree(spans) + "\n")
+    if args.emit_metrics:
+        _emit_metrics(args.emit_metrics, result, out)
     return 0
 
 
@@ -162,6 +238,8 @@ def main(argv=None, out=None):
         return 0 if all(r.passed for r in results) else 1
     elif args.command == "run":
         return command_run(args, out)
+    elif args.command == "stats":
+        return command_stats(args, out)
     elif args.command == "list":
         return command_list(out)
     return 0

@@ -68,6 +68,14 @@ class CorruptionDetector:
         self.requested_bytes = 0
         self.monitor_waste_bytes = 0
 
+    def register_metrics(self, metrics):
+        """Publish ``safemem.corruption.*`` probes into a registry."""
+        metrics.probe("safemem.corruption.reports",
+                      lambda: len(self.reports), kind="counter")
+        metrics.probe("safemem.corruption.quarantine_bytes",
+                      lambda: self._quarantine_bytes, kind="gauge",
+                      description="freed bytes held in quarantine")
+
     # ------------------------------------------------------------------
     # allocation path
     # ------------------------------------------------------------------

@@ -74,10 +74,10 @@ def render_safemem_diagnostics(safemem, group_limit=20):
         sections.append(render_group_summary(safemem.leak,
                                              limit=group_limit))
     sections.append(render_watch_summary(safemem.watcher))
-    stats = safemem.statistics()
+    snapshot = safemem.telemetry()
     sections.append(render_table(
-        "SafeMem counters",
-        ["counter", "value"],
-        sorted((k, v) for k, v in stats.items()),
+        f"SafeMem metrics (cycle {snapshot.cycle})",
+        ["metric", "value"],
+        sorted(snapshot.filtered("safemem.").items()),
     ))
     return "\n\n".join(sections)

@@ -49,6 +49,23 @@ class LeakDetector:
         self._last_check_cycle = 0
         self.skipped_watches = 0
 
+    def register_metrics(self, metrics):
+        """Publish ``safemem.leak.*`` probes into a metrics registry."""
+        metrics.probe("safemem.leak.suspects",
+                      lambda: len(self.suspect_records), kind="counter",
+                      description="suspicions ever raised (pre-pruning)")
+        metrics.probe("safemem.leak.pruned",
+                      lambda: len(self.pruned), kind="counter")
+        metrics.probe("safemem.leak.reports",
+                      lambda: len(self.reports), kind="counter")
+        metrics.probe("safemem.leak.skipped_watches",
+                      lambda: self.skipped_watches, kind="counter")
+        metrics.probe("safemem.leak.watched",
+                      lambda: len(self._watched), kind="gauge",
+                      description="suspects currently under ECC watch")
+        metrics.probe("safemem.leak.groups",
+                      lambda: len(self.groups), kind="gauge")
+
     # ------------------------------------------------------------------
     # step 1: behaviour collection at allocation/deallocation time
     # ------------------------------------------------------------------

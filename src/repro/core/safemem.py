@@ -16,12 +16,31 @@ computation -- the properties that keep its overhead at production-run
 levels (Table 3).
 """
 
+import warnings
+
 from repro.common.constants import CACHE_LINE_SIZE, align_up
 from repro.core.config import SafeMemConfig
 from repro.core.corruption import CorruptionDetector
 from repro.core.leak import LeakDetector
 from repro.core.watcher import EccWatchManager
+from repro.machine.machine import PERF_COUNTER_METRICS
 from repro.machine.monitor import Monitor
+from repro.obs.metrics import MetricsRegistry
+
+#: Legacy ``statistics()`` key -> registry metric name (the watcher,
+#: leak, and corruption slices; perf-counter keys come from
+#: :data:`~repro.machine.machine.PERF_COUNTER_METRICS`).
+STATISTICS_METRICS = {
+    "watch_arms": "safemem.watch.arms",
+    "watch_disarms": "safemem.watch.disarms",
+    "pin_failures": "safemem.watch.pin_failures",
+    "hardware_errors_repaired": "safemem.watch.hw_repaired",
+    "leak_reports": "safemem.leak.reports",
+    "pruned_suspects": "safemem.leak.pruned",
+    "suspects_flagged": "safemem.leak.suspects",
+    "groups": "safemem.leak.groups",
+    "corruption_reports": "safemem.corruption.reports",
+}
 
 
 class SafeMem(Monitor):
@@ -45,15 +64,33 @@ class SafeMem(Monitor):
     # ------------------------------------------------------------------
     def on_attach(self):
         machine = self.program.machine
+        metrics = getattr(machine, "metrics", None)
         self.watcher = EccWatchManager(machine)
         if self.config.detect_leaks:
             self.leak = LeakDetector(
                 self.program, self.watcher, self.config, machine.events
             )
+            if metrics is not None:
+                self.leak.register_metrics(metrics)
         if self.config.detect_corruption or self.config.detect_uninit_reads:
             self.corruption = CorruptionDetector(
                 self.program, self.watcher, self.config, machine.events
             )
+            if metrics is not None:
+                self.corruption.register_metrics(metrics)
+        if metrics is not None:
+            self.register_metrics(metrics)
+
+    def register_metrics(self, metrics):
+        """Publish ``safemem.space.*`` probes into a metrics registry."""
+        metrics.probe("safemem.space.requested_bytes",
+                      lambda: self.requested_bytes, kind="counter")
+        metrics.probe("safemem.space.waste_bytes",
+                      lambda: self._total_waste_bytes(), kind="counter")
+        metrics.probe("safemem.space.overhead",
+                      self.space_overhead_fraction, kind="gauge",
+                      description="monitoring bytes / requested bytes "
+                                  "(Table 4 metric)")
 
     def on_exit(self):
         if self.leak is not None:
@@ -181,49 +218,71 @@ class SafeMem(Monitor):
             return list(self.corruption.reports)
         return []
 
-    def space_overhead_fraction(self):
-        """Monitoring bytes over requested bytes (Table 4's metric)."""
-        requested = self.requested_bytes
+    def _total_waste_bytes(self):
         waste = self.monitor_waste_bytes
         if self.corruption is not None:
             waste += self.corruption.monitor_waste_bytes
+        return waste
+
+    def space_overhead_fraction(self):
+        """Monitoring bytes over requested bytes (Table 4's metric)."""
+        requested = self.requested_bytes
         if requested == 0:
             return 0.0
-        return waste / requested
+        return self._total_waste_bytes() / requested
+
+    def telemetry(self):
+        """Cycle-stamped :class:`~repro.obs.metrics.Snapshot` of every
+        registered metric on the attached machine.
+
+        The replacement for the old flat ``statistics()`` dict: read
+        named metrics from ``snapshot.values`` (``safemem.*`` for this
+        monitor's slice; the namespace is documented in
+        docs/OBSERVABILITY.md).  Safe to call before attach, when it
+        returns an empty snapshot.
+        """
+        if self.program is None:
+            return MetricsRegistry().snapshot()
+        return self.program.machine.metrics.snapshot()
 
     def statistics(self):
-        """A flat summary dict for experiment harnesses.
+        """Deprecated flat summary dict; use :meth:`telemetry`.
 
-        Safe to call before attach: watcher-derived entries report
-        zero and machine perf counters are omitted.
+        Kept as a versioned view over the metrics registry: every key
+        maps onto a registered metric (see :data:`STATISTICS_METRICS`),
+        so the legacy keys and values are bit-identical to the historic
+        hand-rolled dict.
         """
-        if self.watcher is not None:
-            stats = {
-                "watch_arms": self.watcher.arm_count,
-                "watch_disarms": self.watcher.disarm_count,
-                "pin_failures": self.watcher.pin_failures,
-                "hardware_errors_repaired":
-                    self.watcher.hardware_errors_repaired,
-            }
-        else:
-            stats = {
-                "watch_arms": 0,
-                "watch_disarms": 0,
-                "pin_failures": 0,
-                "hardware_errors_repaired": 0,
-            }
-        stats["space_overhead"] = self.space_overhead_fraction()
+        warnings.warn(
+            "SafeMem.statistics() is deprecated; use SafeMem.telemetry() "
+            "(see docs/OBSERVABILITY.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        snap = self.telemetry()
+
+        def value(name):
+            return snap.values.get(name, 0)
+
+        stats = {
+            "watch_arms": value("safemem.watch.arms"),
+            "watch_disarms": value("safemem.watch.disarms"),
+            "pin_failures": value("safemem.watch.pin_failures"),
+            "hardware_errors_repaired": value("safemem.watch.hw_repaired"),
+            "space_overhead": self.space_overhead_fraction(),
+        }
         if self.program is not None:
-            stats.update(self.program.machine.perf_counters())
+            stats.update({
+                key: value(name)
+                for key, name in PERF_COUNTER_METRICS.items()
+            })
         if self.leak is not None:
             stats.update(
-                leak_reports=len(self.leak.reports),
-                pruned_suspects=len(self.leak.pruned),
-                suspects_flagged=len(self.leak.suspect_records),
-                groups=len(self.leak.groups),
+                leak_reports=value("safemem.leak.reports"),
+                pruned_suspects=value("safemem.leak.pruned"),
+                suspects_flagged=value("safemem.leak.suspects"),
+                groups=value("safemem.leak.groups"),
             )
         if self.corruption is not None:
-            stats.update(
-                corruption_reports=len(self.corruption.reports),
-            )
+            stats["corruption_reports"] = value("safemem.corruption.reports")
         return stats

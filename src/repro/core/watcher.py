@@ -69,6 +69,28 @@ class EccWatchManager:
         self.kernel.register_ecc_fault_handler(self._handle_fault)
         self.kernel.add_scrub_listener(pre=self.suspend_all,
                                        post=self.resume_all)
+        metrics = getattr(machine, "metrics", None)
+        if metrics is not None:
+            self.register_metrics(metrics)
+
+    def register_metrics(self, metrics):
+        """Publish ``safemem.watch.*`` probes into a metrics registry."""
+        metrics.probe("safemem.watch.arms", lambda: self.arm_count,
+                      kind="counter")
+        metrics.probe("safemem.watch.disarms", lambda: self.disarm_count,
+                      kind="counter")
+        metrics.probe("safemem.watch.pin_failures",
+                      lambda: self.pin_failures, kind="counter")
+        metrics.probe("safemem.watch.hw_repaired",
+                      lambda: self.hardware_errors_repaired,
+                      kind="counter",
+                      description="hardware errors repaired from the "
+                                  "saved originals")
+        metrics.probe("safemem.watch.unclaimed_faults",
+                      lambda: self.unclaimed_faults, kind="counter")
+        metrics.probe("safemem.watch.armed",
+                      lambda: len(self._by_region), kind="gauge",
+                      description="regions currently armed")
 
     # ------------------------------------------------------------------
     # arming / disarming

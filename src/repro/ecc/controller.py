@@ -25,6 +25,7 @@ from repro.common.constants import (
 )
 from repro.common.errors import BusError, ConfigurationError
 from repro.ecc.codec import DecodeStatus, SecDedCodec
+from repro.obs.metrics import attr_reader as _attr_reader
 from repro.ecc.faults import (
     EccFault,
     FaultOrigin,
@@ -45,7 +46,8 @@ class EccMode(Enum):
 class MemoryController:
     """Cache-line-granularity front end over :class:`PhysicalMemory`."""
 
-    def __init__(self, dram, mode=EccMode.CORRECT_ERROR, codec=None):
+    def __init__(self, dram, mode=EccMode.CORRECT_ERROR, codec=None,
+                 metrics=None):
         self.dram = dram
         self.mode = mode
         self.codec = codec or SecDedCodec()
@@ -66,6 +68,22 @@ class MemoryController:
         self.clean_line_reads = 0
         self.group_decodes = 0
         self.batched_line_writes = 0
+        if metrics is not None:
+            self.register_metrics(metrics)
+
+    def register_metrics(self, metrics):
+        """Publish ``ecc.*`` probes into a metrics registry."""
+        for name, attr in (
+            ("ecc.read_lines", "reads"),
+            ("ecc.write_lines", "writes"),
+            ("ecc.corrected", "corrected_errors"),
+            ("ecc.uncorrectable", "uncorrectable_errors"),
+            ("ecc.codec.clean_line_reads", "clean_line_reads"),
+            ("ecc.codec.group_decodes", "group_decodes"),
+            ("ecc.codec.lines_batched", "batched_line_writes"),
+        ):
+            metrics.probe(name, _attr_reader(self, attr),
+                          kind="counter")
 
     # ------------------------------------------------------------------
     # mode and window control

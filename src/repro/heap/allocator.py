@@ -44,7 +44,7 @@ class Allocation:
 class Allocator:
     """First-fit allocator with address-ordered free list and coalescing."""
 
-    def __init__(self, base, size, clock=None, costs=None):
+    def __init__(self, base, size, clock=None, costs=None, metrics=None):
         if size <= 0:
             raise ConfigurationError(f"heap size must be positive: {size}")
         self.base = base
@@ -60,6 +60,19 @@ class Allocator:
         self.total_frees = 0
         self.peak_live_bytes = 0
         self.live_bytes = 0
+        if metrics is not None:
+            self.register_metrics(metrics)
+
+    def register_metrics(self, metrics):
+        """Publish ``heap.*`` probes into a metrics registry."""
+        metrics.probe("heap.allocs", lambda: self.total_allocs,
+                      kind="counter")
+        metrics.probe("heap.frees", lambda: self.total_frees,
+                      kind="counter")
+        metrics.probe("heap.live_bytes", lambda: self.live_bytes,
+                      kind="gauge")
+        metrics.probe("heap.peak_live_bytes",
+                      lambda: self.peak_live_bytes, kind="gauge")
 
     # ------------------------------------------------------------------
     # allocation

@@ -37,13 +37,24 @@ class EccFaultInfo:
 class InterruptController:
     """Routes uncorrectable ECC faults to the user handler or panics."""
 
-    def __init__(self, clock, cost_model, event_log=None):
+    def __init__(self, clock, cost_model, event_log=None, metrics=None,
+                 tracer=None):
         self.clock = clock
         self.costs = cost_model
         self.event_log = event_log
+        self.tracer = tracer
         self.user_handler = None
         self.delivered = 0
         self.panics = 0
+        if metrics is not None:
+            self.register_metrics(metrics)
+
+    def register_metrics(self, metrics):
+        """Publish ``kernel.irq.*`` probes into a metrics registry."""
+        metrics.probe("kernel.irq.delivered", lambda: self.delivered,
+                      kind="counter")
+        metrics.probe("kernel.irq.panics", lambda: self.panics,
+                      kind="counter")
 
     def register_handler(self, handler):
         """Install the user-level ECC fault handler (may be ``None``)."""
@@ -67,7 +78,12 @@ class InterruptController:
             self._panic(info, "no ECC fault handler registered")
         self.clock.tick(self.costs.fault_delivery)
         self.delivered += 1
-        handled = self.user_handler(info)
+        if self.tracer is not None:
+            with self.tracer.span("ecc.handler", paddr=info.paddr,
+                                  watched=info.watched):
+                handled = self.user_handler(info)
+        else:
+            handled = self.user_handler(info)
         if not handled:
             self._panic(info, "ECC fault handler did not claim the fault")
 

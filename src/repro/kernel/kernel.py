@@ -13,6 +13,8 @@ Every syscall charges its cycle cost to the program's clock, which is
 how monitoring overhead becomes measurable.
 """
 
+import contextlib
+
 from repro.common.constants import (
     CACHE_LINE_SIZE,
     ECC_GROUP_BYTES,
@@ -65,7 +67,8 @@ class Kernel:
     """OS services over the machine's hardware components."""
 
     def __init__(self, dram, controller, cache, mmu, page_table, clock,
-                 costs, event_log, max_pinned_pages=None):
+                 costs, event_log, max_pinned_pages=None, metrics=None,
+                 tracer=None):
         self.dram = dram
         self.controller = controller
         self.cache = cache
@@ -74,10 +77,15 @@ class Kernel:
         self.clock = clock
         self.costs = costs
         self.event_log = event_log
-        self.interrupts = InterruptController(clock, costs, event_log)
+        self.metrics = metrics
+        self.tracer = tracer
+        self.interrupts = InterruptController(clock, costs, event_log,
+                                              metrics=metrics,
+                                              tracer=tracer)
         self.watches = WatchRegistry()
         self.scrubber = Scrubber(controller, clock, costs)
         self.pinned_pages = 0
+        self.ecc_traps = 0
         if max_pinned_pages is None:
             max_pinned_pages = max(1, (dram.size // PAGE_SIZE) // 2)
         self.max_pinned_pages = max_pinned_pages
@@ -85,6 +93,29 @@ class Kernel:
         #: user-level SIGSEGV handler (page-protection guard tools).
         self.segv_handler = None
         controller.fault_listener = self._on_controller_event
+        if metrics is not None:
+            self.register_metrics(metrics)
+
+    def register_metrics(self, metrics):
+        """Publish ``kernel.*`` probes into a metrics registry.
+
+        Per-syscall counters (``kernel.syscall.<Name>``) register
+        lazily on first use in :meth:`_count`.
+        """
+        metrics.probe("kernel.ecc_traps", lambda: self.ecc_traps,
+                      kind="counter",
+                      description="uncorrectable faults routed to the "
+                                  "user handler")
+        metrics.probe("kernel.pinned_pages", lambda: self.pinned_pages,
+                      kind="gauge")
+        metrics.probe("kernel.watched_lines",
+                      lambda: self.watches.armed_line_count,
+                      kind="gauge")
+
+    def _span(self, name, **attrs):
+        if self.tracer is not None:
+            return self.tracer.span(name, **attrs)
+        return contextlib.nullcontext()
 
     # ------------------------------------------------------------------
     # the three paper syscalls
@@ -100,6 +131,10 @@ class Kernel:
         ECC fault.
         """
         self._count("WatchMemory")
+        with self._span("syscall.WatchMemory", vaddr=vaddr, size=size):
+            return self._watch_memory(vaddr, size)
+
+    def _watch_memory(self, vaddr, size):
         lines = self._validate_line_region(vaddr, size)
         self.clock.tick(self.costs.watch_memory_cost(len(lines)))
 
@@ -156,6 +191,10 @@ class Kernel:
         re-encoded, which also clears the fault condition.
         """
         self._count("DisableWatchMemory")
+        with self._span("syscall.DisableWatchMemory", vaddr=vaddr):
+            return self._disable_watch_memory(vaddr, restore_data)
+
+    def _disable_watch_memory(self, vaddr, restore_data):
         region = self.watches.get(vaddr)
         if region is None:
             raise SyscallError(f"no watched region at {vaddr:#x}")
@@ -263,6 +302,7 @@ class Kernel:
     # ------------------------------------------------------------------
     def handle_uncorrectable_fault(self, fault, access="read"):
         """Route a multi-bit ECC fault to the user handler (or panic)."""
+        self.ecc_traps += 1
         resolved = self.watches.resolve_physical_line(fault.line_address)
         if resolved is not None:
             region, vline = resolved
@@ -279,7 +319,9 @@ class Kernel:
             origin=fault.origin.value,
             access=access,
         )
-        self.interrupts.deliver(info)
+        with self._span("ecc.fault", paddr=fault.address,
+                        watched=watched, access=access):
+            self.interrupts.deliver(info)
 
     def peek_watched_line(self, vaddr):
         """Kernel-mode raw read of a watched line (no ECC check).
@@ -355,6 +397,8 @@ class Kernel:
 
     def _count(self, name):
         self.syscall_counts[name] = self.syscall_counts.get(name, 0) + 1
+        if self.metrics is not None:
+            self.metrics.counter(f"kernel.syscall.{name}").inc()
         self.event_log.emit(EventKind.SYSCALL, name=name)
 
     def _on_controller_event(self, fault):

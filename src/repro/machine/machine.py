@@ -7,6 +7,8 @@ a user-handled ECC fault, modelling the interrupted-and-resumed
 instruction of real hardware.
 """
 
+import warnings
+
 from repro.cache.cache import Cache
 from repro.common.clock import VirtualClock
 from repro.common.constants import (
@@ -25,6 +27,8 @@ from repro.kernel.kernel import Kernel
 from repro.mmu.mmu import Mmu
 from repro.mmu.pagetable import FrameAllocator, PageTable
 from repro.mmu.swap import SwapDevice
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 
 #: A livelock guard: a correct handler fixes a line in one delivery,
 #: but one access may legitimately fault once per cache line it spans
@@ -37,6 +41,23 @@ def _retry_budget(size):
     return MAX_FAULT_RETRIES + size // CACHE_LINE_SIZE + 1
 
 
+#: Legacy ``perf_counters()`` key -> registry metric name.  The shim
+#: (and any migration off it) reads from this single source of truth.
+PERF_COUNTER_METRICS = {
+    "tlb_hits": "mmu.tlb.hit",
+    "tlb_misses": "mmu.tlb.miss",
+    "tlb_invalidations": "mmu.tlb.invalidation",
+    "tlb_flushes": "mmu.tlb.flush",
+    "fast_loads": "machine.load.fast",
+    "fast_stores": "machine.store.fast",
+    "slow_loads": "machine.load.slow",
+    "slow_stores": "machine.store.slow",
+    "ecc_clean_line_reads": "ecc.codec.clean_line_reads",
+    "ecc_group_decodes": "ecc.codec.group_decodes",
+    "ecc_batched_line_writes": "ecc.codec.lines_batched",
+}
+
+
 class Machine:
     """A booted simulated system with ECC memory."""
 
@@ -47,8 +68,12 @@ class Machine:
         self.costs = cost_model or default_cost_model()
         self.clock = VirtualClock()
         self.events = EventLog(self.clock)
+        self.metrics = MetricsRegistry(clock=self.clock)
+        self.tracer = Tracer(self.clock, registry=self.metrics,
+                             events=self.events)
         self.dram = PhysicalMemory(dram_size)
-        self.controller = MemoryController(self.dram, mode=ecc_mode)
+        self.controller = MemoryController(self.dram, mode=ecc_mode,
+                                           metrics=self.metrics)
         if cache_levels == 2:
             from repro.cache.hierarchy import CacheHierarchy
             self.cache = CacheHierarchy(
@@ -59,6 +84,7 @@ class Machine:
                 l2_ways=cache_ways,
                 clock=self.clock,
                 cost_model=self.costs,
+                metrics=self.metrics,
             )
         else:
             self.cache = Cache(
@@ -67,10 +93,11 @@ class Machine:
                 ways=cache_ways,
                 clock=self.clock,
                 cost_model=self.costs,
+                metrics=self.metrics,
             )
         self.page_table = PageTable()
         self.frames = FrameAllocator(dram_size)
-        self.swap = SwapDevice()
+        self.swap = SwapDevice(metrics=self.metrics)
         self.mmu = Mmu(
             self.page_table,
             self.frames,
@@ -78,6 +105,7 @@ class Machine:
             self.dram,
             self.cache,
             self.controller,
+            metrics=self.metrics,
         )
         self.kernel = Kernel(
             self.dram,
@@ -89,6 +117,8 @@ class Machine:
             self.costs,
             self.events,
             max_pinned_pages=max_pinned_pages,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
         # Short-circuit access path: taken only while *zero* cache lines
         # are armed (the overwhelmingly common production state).  The
@@ -101,26 +131,43 @@ class Machine:
         self.fast_stores = 0
         self.slow_loads = 0
         self.slow_stores = 0
+        self.register_metrics(self.metrics)
+
+    def register_metrics(self, metrics):
+        """Publish the machine's own access-path probes."""
+        metrics.probe("machine.load.fast", lambda: self.fast_loads,
+                      kind="counter",
+                      description="loads served by the short-circuit path")
+        metrics.probe("machine.store.fast", lambda: self.fast_stores,
+                      kind="counter")
+        metrics.probe("machine.load.slow", lambda: self.slow_loads,
+                      kind="counter",
+                      description="loads through the full fault-retry walk")
+        metrics.probe("machine.store.slow", lambda: self.slow_stores,
+                      kind="counter")
+        metrics.probe("machine.events", lambda: len(self.events),
+                      kind="counter",
+                      description="events emitted into the event log")
 
     def _on_watch_registry_change(self, registry):
         self._fast_path_enabled = registry.armed_line_count == 0
 
     def perf_counters(self):
-        """Fast-path/TLB/codec counters as a flat dict."""
-        controller = self.controller
-        mmu = self.mmu
+        """Deprecated flat counter dict; use ``machine.metrics``.
+
+        Kept as a versioned view over the registry so old callers keep
+        working: every key maps onto a registered metric (see
+        :data:`PERF_COUNTER_METRICS`).
+        """
+        warnings.warn(
+            "Machine.perf_counters() is deprecated; read named metrics "
+            "from Machine.metrics (see docs/OBSERVABILITY.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return {
-            "tlb_hits": mmu.tlb_hits,
-            "tlb_misses": mmu.tlb_misses,
-            "tlb_invalidations": mmu.tlb_invalidations,
-            "tlb_flushes": mmu.tlb_flushes,
-            "fast_loads": self.fast_loads,
-            "fast_stores": self.fast_stores,
-            "slow_loads": self.slow_loads,
-            "slow_stores": self.slow_stores,
-            "ecc_clean_line_reads": controller.clean_line_reads,
-            "ecc_group_decodes": controller.group_decodes,
-            "ecc_batched_line_writes": controller.batched_line_writes,
+            key: self.metrics.value(name)
+            for key, name in PERF_COUNTER_METRICS.items()
         }
 
     # ------------------------------------------------------------------

@@ -39,6 +39,7 @@ class Program:
         self.allocator = Allocator(
             self.heap_base, self.heap_size,
             clock=machine.clock, costs=machine.costs,
+            metrics=getattr(machine, "metrics", None),
         )
         self.stack = CallStack(entry_pc=entry_pc)
         self.monitor = monitor if monitor is not None else NullMonitor()
@@ -160,3 +161,14 @@ class Program:
         if not self.exited:
             self.exited = True
             self.monitor.on_exit()
+
+    def release(self):
+        """Unmap this program's address space so the machine can host
+        another program.
+
+        Watched regions must be disarmed first (``exit`` on a SafeMem
+        monitor does that); ``munmap`` refuses otherwise.
+        """
+        self.exit()
+        self.machine.kernel.munmap(self.globals_base, self.globals_size)
+        self.machine.kernel.munmap(self.heap_base, self.heap_size)

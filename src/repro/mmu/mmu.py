@@ -12,6 +12,7 @@ from repro.common.constants import CACHE_LINE_SIZE, PAGE_SIZE
 from repro.common.errors import PageFault, ProtectionFault
 from repro.mmu.pagetable import PROT_READ, PROT_WRITE
 from repro.mmu.swap import EvictionPolicy
+from repro.obs.metrics import attr_reader as _attr_reader
 
 #: Entries in the software TLB (direct-mapped, indexed by vpn % size).
 TLB_SIZE = 64
@@ -29,7 +30,7 @@ class Mmu:
     """
 
     def __init__(self, page_table, frame_allocator, swap, dram, cache,
-                 controller):
+                 controller, metrics=None):
         self.page_table = page_table
         self.frames = frame_allocator
         self.swap = swap
@@ -49,6 +50,27 @@ class Mmu:
         self.tlb_misses = 0
         self.tlb_invalidations = 0
         self.tlb_flushes = 0
+        if metrics is not None:
+            self.register_metrics(metrics)
+
+    def register_metrics(self, metrics):
+        """Publish the MMU counters as ``mmu.*`` registry probes.
+
+        The counters stay plain integer attributes -- translation is
+        the hottest path in the simulator, and an attribute increment
+        is the cheapest record we can make -- so the registry samples
+        them through probes instead of owning them.
+        """
+        for name, attr in (
+            ("mmu.tlb.hit", "tlb_hits"),
+            ("mmu.tlb.miss", "tlb_misses"),
+            ("mmu.tlb.invalidation", "tlb_invalidations"),
+            ("mmu.tlb.flush", "tlb_flushes"),
+            ("mmu.demand_fill", "demand_fills"),
+            ("mmu.swap_in_fault", "swap_in_faults"),
+        ):
+            metrics.probe(name, _attr_reader(self, attr),
+                          kind="counter")
 
     # ------------------------------------------------------------------
     # translation

@@ -16,10 +16,21 @@ from repro.common.errors import OutOfMemory
 class SwapDevice:
     """Backing store for evicted pages, keyed by virtual page number."""
 
-    def __init__(self):
+    def __init__(self, metrics=None):
         self._slots = {}
         self.swap_outs = 0
         self.swap_ins = 0
+        if metrics is not None:
+            self.register_metrics(metrics)
+
+    def register_metrics(self, metrics):
+        """Publish ``swap.*`` probes into a metrics registry."""
+        metrics.probe("swap.out", lambda: self.swap_outs,
+                      kind="counter")
+        metrics.probe("swap.in", lambda: self.swap_ins, kind="counter")
+        metrics.probe("swap.slots", lambda: len(self._slots),
+                      kind="gauge",
+                      description="pages currently swapped out")
 
     def store(self, vpn, data):
         if len(data) != PAGE_SIZE:

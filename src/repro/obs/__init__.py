@@ -1,0 +1,41 @@
+"""Unified telemetry: metrics registry, trace spans, exporters.
+
+The one observability layer of the simulated machine.  Components
+register named metrics in the machine's :class:`MetricsRegistry`;
+phases are timed with :class:`Tracer` spans on the simulated clock;
+everything is read via cycle-stamped snapshots and exported through
+the stable ``repro.metrics/v1`` schema (see ``docs/OBSERVABILITY.md``).
+"""
+
+from repro.obs.export import (
+    SCHEMA,
+    render_metrics_table,
+    render_span_tree,
+    snapshot_document,
+    write_metrics_json,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Snapshot,
+    attr_reader,
+)
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Snapshot",
+    "Span",
+    "Tracer",
+    "attr_reader",
+    "render_metrics_table",
+    "render_span_tree",
+    "snapshot_document",
+    "write_metrics_json",
+]

@@ -1,0 +1,317 @@
+"""Metrics registry: the machine's single source of counters.
+
+Every simulated component registers its counters, gauges, and
+histograms here under one documented namespace (``mmu.tlb.hit``,
+``ecc.codec.lines_batched``, ``safemem.watch.armed``, ...; see
+``docs/OBSERVABILITY.md``).  Experiments read the machine with
+cycle-stamped :meth:`MetricsRegistry.snapshot` and do per-phase
+accounting with snapshot *deltas* -- absolute counters accumulate for
+the life of the machine, so two snapshots are the only way to attribute
+work to a phase exactly.
+
+Two registration styles:
+
+- **owned instruments** (:class:`Counter`, :class:`Gauge`,
+  :class:`Histogram`): the caller holds the object and mutates it,
+- **probes**: a zero-argument callable sampled at snapshot time.
+  Components on the access fast path keep plain integer attributes
+  (one ``+= 1`` is cheaper than any method call) and expose them
+  through probes, so registering a metric never slows the hot loop.
+"""
+
+import math
+
+from repro.common.errors import ConfigurationError
+
+_KINDS = ("counter", "gauge", "histogram")
+
+#: Percentiles flattened out of every histogram snapshot.
+HISTOGRAM_PERCENTILES = (50, 90, 99)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "description", "value")
+
+    def __init__(self, name, description=""):
+        self.name = name
+        self.description = description
+        self.value = 0
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value (may go up and down)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "description", "value")
+
+    def __init__(self, name, description=""):
+        self.name = name
+        self.description = description
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+    def add(self, amount):
+        self.value += amount
+
+
+class Histogram:
+    """Distribution of observed values (cycle durations, sizes, ...).
+
+    Keeps every observation; the simulation is bounded by requests, not
+    wall time, so exact percentiles are affordable and reproducible.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "description", "_values", "_sorted", "sum")
+
+    def __init__(self, name, description=""):
+        self.name = name
+        self.description = description
+        self._values = []
+        self._sorted = True
+        self.sum = 0
+
+    def observe(self, value):
+        if self._values and value < self._values[-1]:
+            self._sorted = False
+        self._values.append(value)
+        self.sum += value
+
+    @property
+    def count(self):
+        return len(self._values)
+
+    @property
+    def min(self):
+        return min(self._values) if self._values else 0
+
+    @property
+    def max(self):
+        return max(self._values) if self._values else 0
+
+    def percentile(self, p):
+        """Nearest-rank percentile (p in [0, 100]); 0 when empty."""
+        if not self._values:
+            return 0
+        if not 0 <= p <= 100:
+            raise ConfigurationError(f"percentile out of range: {p}")
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        rank = max(1, math.ceil(p / 100.0 * len(self._values)))
+        return self._values[rank - 1]
+
+
+def attr_reader(obj, attr):
+    """Closure reading ``obj.attr`` -- the standard probe source for
+    components that keep hot-path counters as plain integers."""
+    return lambda: getattr(obj, attr)
+
+
+class _Probe:
+    """Callback-backed metric, sampled only at snapshot time."""
+
+    __slots__ = ("name", "description", "kind", "fn")
+
+    def __init__(self, name, fn, kind, description=""):
+        if kind not in ("counter", "gauge"):
+            raise ConfigurationError(
+                f"probe {name}: kind must be counter or gauge, got {kind}"
+            )
+        self.name = name
+        self.description = description
+        self.kind = kind
+        self.fn = fn
+
+    @property
+    def value(self):
+        return self.fn()
+
+
+class Snapshot:
+    """Cycle-stamped flat view of every registered metric.
+
+    ``values`` maps fully-qualified metric names to numbers; histograms
+    flatten to ``<name>.count`` / ``.sum`` / ``.min`` / ``.max`` /
+    ``.p50`` / ``.p90`` / ``.p99``.  ``kinds`` records, per flat key,
+    whether the value accumulates (``counter``: deltas subtract) or is
+    instantaneous (``gauge``: deltas keep the later value).
+    """
+
+    __slots__ = ("cycle", "since_cycle", "values", "kinds")
+
+    def __init__(self, cycle, values, kinds, since_cycle=None):
+        self.cycle = cycle
+        self.since_cycle = since_cycle
+        self.values = values
+        self.kinds = kinds
+
+    def __getitem__(self, name):
+        return self.values[name]
+
+    def get(self, name, default=0):
+        return self.values.get(name, default)
+
+    def __contains__(self, name):
+        return name in self.values
+
+    def as_dict(self):
+        return dict(self.values)
+
+    def filtered(self, prefix):
+        """The subset of values whose name starts with ``prefix``."""
+        return {name: value for name, value in self.values.items()
+                if name.startswith(prefix)}
+
+    def delta(self, earlier):
+        """What happened between ``earlier`` and this snapshot.
+
+        Counter-kind keys subtract; gauge-kind keys (and histogram
+        min/max/percentiles) keep this snapshot's value, since a
+        difference of instantaneous readings has no meaning.  Keys
+        registered only after ``earlier`` count from zero.
+        """
+        values = {}
+        for name, value in self.values.items():
+            if self.kinds.get(name) == "counter":
+                values[name] = value - earlier.values.get(name, 0)
+            else:
+                values[name] = value
+        return Snapshot(self.cycle, values, dict(self.kinds),
+                        since_cycle=earlier.cycle)
+
+    def __sub__(self, earlier):
+        return self.delta(earlier)
+
+    @property
+    def cycles_elapsed(self):
+        """Cycles covered by a delta snapshot (0 for absolute ones)."""
+        if self.since_cycle is None:
+            return 0
+        return self.cycle - self.since_cycle
+
+    def __repr__(self):
+        span = (f"{self.since_cycle}->{self.cycle}"
+                if self.since_cycle is not None else f"@{self.cycle}")
+        return f"Snapshot({span}, {len(self.values)} metrics)"
+
+
+class MetricsRegistry:
+    """All named metrics of one machine, snapshot together.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking for an
+    existing name returns the same instrument (so two components can
+    share one counter), but asking with a different kind is a
+    configuration error.  Probes replace a same-named probe (a monitor
+    re-attaching re-registers its views) but cannot shadow an owned
+    instrument.
+    """
+
+    def __init__(self, clock=None):
+        self._clock = clock
+        self._metrics = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def counter(self, name, description=""):
+        return self._instrument(Counter, name, description)
+
+    def gauge(self, name, description=""):
+        return self._instrument(Gauge, name, description)
+
+    def histogram(self, name, description=""):
+        return self._instrument(Histogram, name, description)
+
+    def _instrument(self, cls, name, description):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not {cls.kind}"
+                )
+            return existing
+        metric = cls(name, description)
+        self._metrics[name] = metric
+        return metric
+
+    def probe(self, name, fn, kind="counter", description=""):
+        """Register a callback-backed metric (sampled at snapshot).
+
+        Replacing a *counter* probe folds the predecessor's final value
+        into the new one as a base, so the metric stays monotonic when
+        its backing object is recreated (a new program's allocator, a
+        re-attached monitor).  Without the base, a snapshot taken
+        before the swap would make the next delta negative or zero.
+        """
+        existing = self._metrics.get(name)
+        if existing is not None and not isinstance(existing, _Probe):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {existing.kind}"
+            )
+        if (existing is not None and kind == "counter"
+                and existing.kind == "counter"):
+            base = existing.value
+            if base:
+                inner = fn
+                fn = lambda: base + inner()  # noqa: E731
+        probe = _Probe(name, fn, kind, description)
+        self._metrics[name] = probe
+        return probe
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def names(self):
+        return sorted(self._metrics)
+
+    def describe(self):
+        """``{name: (kind, description)}`` for every registered metric."""
+        return {name: (m.kind, m.description)
+                for name, m in sorted(self._metrics.items())}
+
+    def value(self, name):
+        """Current value of one metric (histograms report count)."""
+        metric = self._metrics[name]
+        if isinstance(metric, Histogram):
+            return metric.count
+        return metric.value
+
+    def __contains__(self, name):
+        return name in self._metrics
+
+    def snapshot(self):
+        """Flatten every metric into a cycle-stamped :class:`Snapshot`."""
+        values = {}
+        kinds = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Histogram):
+                values[f"{name}.count"] = metric.count
+                values[f"{name}.sum"] = metric.sum
+                kinds[f"{name}.count"] = "counter"
+                kinds[f"{name}.sum"] = "counter"
+                values[f"{name}.min"] = metric.min
+                values[f"{name}.max"] = metric.max
+                kinds[f"{name}.min"] = "gauge"
+                kinds[f"{name}.max"] = "gauge"
+                for p in HISTOGRAM_PERCENTILES:
+                    values[f"{name}.p{p}"] = metric.percentile(p)
+                    kinds[f"{name}.p{p}"] = "gauge"
+            else:
+                values[name] = metric.value
+                kinds[name] = metric.kind
+        cycle = self._clock.cycles if self._clock is not None else 0
+        return Snapshot(cycle, values, kinds)

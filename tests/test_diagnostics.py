@@ -76,7 +76,8 @@ class TestCombined:
         text = render_safemem_diagnostics(safemem)
         assert "Memory object groups" in text
         assert "Active ECC watchpoints" in text
-        assert "SafeMem counters" in text
+        assert "SafeMem metrics" in text
+        assert "safemem.watch.arms" in text
 
     def test_leak_only_mode_skips_nothing_vital(self):
         machine = Machine(dram_size=16 * 1024 * 1024)
@@ -85,4 +86,5 @@ class TestCombined:
                           heap_size=4 * 1024 * 1024)
         program.malloc(64)
         text = render_safemem_diagnostics(safemem)
-        assert "SafeMem counters" in text
+        assert "SafeMem metrics" in text
+        assert "safemem.watch.arms" in text

@@ -1,0 +1,417 @@
+"""Tests for the telemetry subsystem: registry, spans, exporters.
+
+Covers the redesigned observability API end to end: instrument
+registration and snapshot/delta arithmetic, histogram percentiles,
+span nesting on the simulated clock, the PANIC flight recorder, the
+deprecation shims over the legacy counter dicts, event-log
+subscriptions/queries, and the machine-reuse accounting regression.
+"""
+
+import warnings
+
+import pytest
+
+from repro.analysis.runner import run_workload
+from repro.common.clock import VirtualClock
+from repro.common.constants import CACHE_LINE_SIZE, PAGE_SIZE
+from repro.common.errors import ConfigurationError, MachinePanic
+from repro.common.events import EventKind, EventLog
+from repro.core.config import full_config
+from repro.core.safemem import SafeMem
+from repro.machine.machine import Machine, PERF_COUNTER_METRICS
+from repro.machine.program import Program
+from repro.obs.export import (
+    SCHEMA,
+    render_metrics_table,
+    render_span_tree,
+    snapshot_document,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.counter("a.count").inc()
+        registry.counter("a.count").inc(2)
+        registry.gauge("a.level").set(7)
+        registry.histogram("a.dist").observe(5)
+        assert registry.value("a.count") == 3
+        assert registry.value("a.level") == 7
+        assert registry.value("a.dist") == 1
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_mismatch_is_configuration_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+        with pytest.raises(ConfigurationError):
+            registry.probe("x", lambda: 0)
+
+    def test_counter_cannot_decrease(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.counter("x").inc(-1)
+
+    def test_probe_sampled_at_snapshot_time(self):
+        registry = MetricsRegistry()
+        state = {"n": 0}
+        registry.probe("p", lambda: state["n"])
+        state["n"] = 41
+        assert registry.snapshot()["p"] == 41
+
+    def test_replacing_counter_probe_keeps_monotonic_base(self):
+        # The machine-reuse bug: a new program re-registers heap.*
+        # probes backed by a fresh allocator; without folding the old
+        # probe's final value in as a base, a pre-swap snapshot makes
+        # the next delta zero or negative.
+        registry = MetricsRegistry()
+        registry.probe("heap.allocs", lambda: 17)
+        before = registry.snapshot()
+        fresh = {"n": 0}
+        registry.probe("heap.allocs", lambda: fresh["n"])
+        fresh["n"] = 5
+        delta = registry.snapshot() - before
+        assert delta["heap.allocs"] == 5
+
+    def test_replacing_gauge_probe_just_replaces(self):
+        registry = MetricsRegistry()
+        registry.probe("g", lambda: 100, kind="gauge")
+        registry.probe("g", lambda: 2, kind="gauge")
+        assert registry.snapshot()["g"] == 2
+
+
+class TestSnapshotDelta:
+    def test_counters_subtract_gauges_keep_later(self):
+        clock = VirtualClock()
+        registry = MetricsRegistry(clock=clock)
+        counter = registry.counter("c")
+        gauge = registry.gauge("g")
+        counter.inc(10)
+        gauge.set(10)
+        clock.tick(100)
+        first = registry.snapshot()
+        counter.inc(5)
+        gauge.set(3)
+        clock.tick(50)
+        delta = registry.snapshot() - first
+        assert delta["c"] == 5
+        assert delta["g"] == 3
+        assert delta.since_cycle == 100
+        assert delta.cycle == 150
+        assert delta.cycles_elapsed == 50
+
+    def test_keys_registered_after_earlier_count_from_zero(self):
+        registry = MetricsRegistry()
+        first = registry.snapshot()
+        registry.counter("late").inc(4)
+        assert (registry.snapshot() - first)["late"] == 4
+
+    def test_filtered_selects_namespace(self):
+        registry = MetricsRegistry()
+        registry.counter("mmu.tlb.hit").inc()
+        registry.counter("ecc.read_lines").inc()
+        assert list(registry.snapshot().filtered("mmu.")) == \
+            ["mmu.tlb.hit"]
+
+    def test_histogram_flattens_with_kinds(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for value in (1, 2, 3, 4):
+            hist.observe(value)
+        snapshot = registry.snapshot()
+        assert snapshot["h.count"] == 4
+        assert snapshot["h.sum"] == 10
+        assert snapshot.kinds["h.count"] == "counter"
+        assert snapshot.kinds["h.p99"] == "gauge"
+
+
+class TestHistogramPercentiles:
+    def test_nearest_rank(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for value in range(1, 101):
+            hist.observe(value)
+        assert hist.percentile(50) == 50
+        assert hist.percentile(90) == 90
+        assert hist.percentile(99) == 99
+        assert hist.min == 1
+        assert hist.max == 100
+
+    def test_unsorted_observations(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for value in (9, 1, 5, 3, 7):
+            hist.observe(value)
+        assert hist.percentile(50) == 5
+        assert hist.percentile(100) == 9
+
+    def test_empty_histogram_is_zero(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("h").percentile(99) == 0
+
+
+class TestTracer:
+    def test_span_nesting_on_simulated_clock(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        with tracer.span("outer") as outer:
+            clock.tick(100)
+            with tracer.span("inner", tag="x") as inner:
+                clock.tick(25)
+        assert outer.start_cycle == 0
+        assert outer.end_cycle == 125
+        assert inner.start_cycle == 100
+        assert inner.duration_cycles == 25
+        assert inner.path == ("outer", "inner")
+        assert inner.depth == 1
+        assert inner.attrs == {"tag": "x"}
+
+    def test_durations_feed_registry_histograms(self):
+        clock = VirtualClock()
+        registry = MetricsRegistry(clock=clock)
+        tracer = Tracer(clock, registry=registry)
+        for cost in (10, 20):
+            with tracer.span("op"):
+                clock.tick(cost)
+        snapshot = registry.snapshot()
+        assert snapshot["span.op.cycles.count"] == 2
+        assert snapshot["span.op.cycles.sum"] == 30
+        assert snapshot["trace.spans"] == 2
+
+    def test_flight_recorder_is_bounded_ring(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock, capacity=4)
+        for index in range(10):
+            with tracer.span(f"s{index}"):
+                clock.tick(1)
+        record = tracer.flight_record()
+        assert len(record) == 4
+        assert [span.name for span in record] == \
+            ["s6", "s7", "s8", "s9"]
+        assert tracer.spans_dropped == 6
+
+    def test_exception_unwinds_nested_spans(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                tracer.start("left_open")
+                raise RuntimeError
+        assert tracer.current is None
+        assert {s.name for s in tracer.flight_record()} == \
+            {"outer", "left_open"}
+
+
+class TestPanicFlightRecorder:
+    def _armed_machine_without_handler(self):
+        machine = Machine(dram_size=8 * 1024 * 1024)
+        base = 0x4000_0000
+        machine.kernel.mmap(base, 4 * PAGE_SIZE)
+        machine.store(base, bytes(CACHE_LINE_SIZE))
+        machine.kernel.watch_memory(base, CACHE_LINE_SIZE)
+        return machine, base
+
+    def test_panic_freezes_flight_record(self):
+        machine, base = self._armed_machine_without_handler()
+        with pytest.raises(MachinePanic):
+            machine.load(base, 8)
+        dump = machine.tracer.panic_dump
+        assert dump is not None
+        assert dump["reason"] == "no ECC fault handler registered"
+        assert dump["cycle"] == machine.clock.cycles
+        names = [span["name"] for span in dump["spans"]]
+        assert "syscall.WatchMemory" in names
+        # the fault span was still open when the panic fired.
+        assert "ecc.fault" in \
+            [span["name"] for span in dump["open_spans"]]
+
+    def test_panic_dump_renders_as_span_tree(self):
+        machine, base = self._armed_machine_without_handler()
+        with pytest.raises(MachinePanic):
+            machine.load(base, 8)
+        rendered = render_span_tree(machine.tracer.panic_dump["spans"])
+        assert "syscall.WatchMemory" in rendered
+
+
+class TestEventLog:
+    def _log(self):
+        clock = VirtualClock()
+        return clock, EventLog(clock)
+
+    def test_subscribe_by_kind(self):
+        _clock, log = self._log()
+        seen = []
+        log.subscribe(seen.append, kind=EventKind.WATCH)
+        log.emit(EventKind.WATCH, address=1)
+        log.emit(EventKind.SYSCALL, name="x")
+        assert [e.address for e in seen] == [1]
+
+    def test_subscribe_all_and_unsubscribe(self):
+        _clock, log = self._log()
+        seen = []
+        token = log.subscribe(seen.append)
+        log.emit(EventKind.WATCH)
+        log.unsubscribe(token)
+        log.emit(EventKind.WATCH)
+        assert len(seen) == 1
+
+    def test_query_filters(self):
+        clock, log = self._log()
+        log.emit(EventKind.WATCH, address=0x40)
+        clock.tick(100)
+        log.emit(EventKind.WATCH, address=0x80)
+        log.emit(EventKind.SYSCALL, name="x")
+        assert len(log.query(kind=EventKind.WATCH)) == 2
+        assert [e.address for e in log.query(since_cycle=50)] == \
+            [0x80, 0]
+        assert len(log.query(kind=EventKind.WATCH,
+                             address=0x80)) == 1
+        assert len(log.query(limit=1)) == 1
+
+    def test_direct_iteration_is_deprecated(self):
+        _clock, log = self._log()
+        log.emit(EventKind.WATCH)
+        with pytest.warns(DeprecationWarning):
+            assert len(list(log)) == 1
+
+
+class TestDeprecationShims:
+    def test_perf_counters_warns_and_matches_registry(self):
+        machine = Machine(dram_size=8 * 1024 * 1024)
+        machine.kernel.mmap(0x4000_0000, PAGE_SIZE)
+        machine.store(0x4000_0000, b"x" * 8)
+        machine.load(0x4000_0000, 8)
+        with pytest.warns(DeprecationWarning):
+            legacy = machine.perf_counters()
+        snapshot = machine.metrics.snapshot()
+        for key, name in PERF_COUNTER_METRICS.items():
+            assert legacy[key] == snapshot[name]
+
+    def test_statistics_warns_and_matches_registry(self):
+        machine = Machine(dram_size=16 * 1024 * 1024)
+        safemem = SafeMem(full_config())
+        program = Program(machine, monitor=safemem,
+                          heap_size=4 * 1024 * 1024)
+        buf = program.malloc(64)
+        program.free(buf)
+        with pytest.warns(DeprecationWarning):
+            legacy = safemem.statistics()
+        snapshot = safemem.telemetry()
+        assert legacy["watch_arms"] == \
+            snapshot["safemem.watch.arms"]
+        assert legacy["corruption_reports"] == \
+            snapshot["safemem.corruption.reports"]
+        assert legacy["fast_loads"] == snapshot["machine.load.fast"]
+
+    def test_statistics_before_attach_warns_and_zeroes(self):
+        safemem = SafeMem()
+        with pytest.warns(DeprecationWarning):
+            stats = safemem.statistics()
+        assert stats["watch_arms"] == 0
+        assert "tlb_hits" not in stats  # no machine attached
+
+
+class TestBenchParity:
+    def test_delta_reproduces_legacy_hot_loop_counters(self):
+        # The BENCH_memfast hot loop: unwatched machine, 16 hot lines,
+        # every access a TLB hit + cache hit on the short-circuit
+        # path.  The registry delta must reproduce the legacy counter
+        # values exactly.
+        machine = Machine(dram_size=8 * 1024 * 1024)
+        base = 0x4000_0000
+        machine.kernel.mmap(base, 4 * PAGE_SIZE)
+        addresses = [base + i * CACHE_LINE_SIZE for i in range(16)]
+        for address in addresses:
+            machine.store(address, bytes(8))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy_before = machine.perf_counters()
+            before = machine.metrics.snapshot()
+            for i in range(2000):
+                machine.load(addresses[i & 15], 8)
+            delta = machine.metrics.snapshot() - before
+            legacy_after = machine.perf_counters()
+        assert delta["machine.load.fast"] == 2000
+        for key, name in PERF_COUNTER_METRICS.items():
+            assert delta[name] == \
+                legacy_after[key] - legacy_before[key], name
+
+
+class TestMachineReuseAccounting:
+    @pytest.mark.parametrize("monitor_name", ["native", "safemem"])
+    def test_second_run_delta_is_unskewed(self, monitor_name):
+        # Regression: lifetime counters survive machine reuse, so a
+        # second workload's accounting must come from snapshot deltas,
+        # not absolute values.
+        def monitor():
+            if monitor_name == "native":
+                return None
+            return SafeMem(full_config())
+
+        first = run_workload("ypserv1", monitor_name, requests=4,
+                             monitor=monitor(), release=True)
+        second = run_workload("ypserv1", monitor_name, requests=4,
+                              monitor=monitor(), machine=first.machine,
+                              release=True)
+        assert second.cycles == first.cycles
+        assert second.machine is first.machine
+        # every counter-kind metric agrees between the two runs...
+        for name, kind in second.metrics.kinds.items():
+            if kind == "counter":
+                assert second.metrics.get(name) == \
+                    first.metrics.get(name), name
+        # ...even though the machine's absolute totals kept growing.
+        total = first.machine.metrics.snapshot()
+        assert total["machine.load.slow"] == \
+            2 * first.metrics["machine.load.slow"]
+        assert first.machine.clock.cycles == 2 * first.cycles
+
+
+class TestExporters:
+    def test_snapshot_document_schema(self):
+        clock = VirtualClock()
+        registry = MetricsRegistry(clock=clock)
+        tracer = Tracer(clock, registry=registry)
+        registry.counter("mmu.tlb.hit").inc(3)
+        with tracer.span("op"):
+            clock.tick(10)
+        first = registry.snapshot()
+        clock.tick(5)
+        document = snapshot_document(
+            registry.snapshot() - first,
+            spans=tracer.flight_record(),
+            meta={"workload": "unit"},
+        )
+        assert document["schema"] == SCHEMA
+        assert document["generated"] == {"cycle": 15, "since_cycle": 10}
+        assert document["metrics"]["mmu.tlb.hit"] == 0
+        assert document["kinds"]["mmu.tlb.hit"] == "counter"
+        assert document["meta"] == {"workload": "unit"}
+        assert document["spans"][0]["name"] == "op"
+        assert document["spans"][0]["duration_cycles"] == 10
+
+    def test_render_metrics_table(self):
+        registry = MetricsRegistry()
+        registry.counter("mmu.tlb.hit").inc(1234)
+        registry.gauge("swap.slots").set(2)
+        rendered = render_metrics_table(registry.snapshot(),
+                                        title="test metrics")
+        assert "mmu.tlb.hit" in rendered
+        assert "1,234" in rendered
+        rendered = render_metrics_table(registry.snapshot(),
+                                        prefix="swap.")
+        assert "mmu.tlb.hit" not in rendered
+        assert "swap.slots" in rendered
+
+    def test_run_result_metrics_feed_exporter(self):
+        run = run_workload("ypserv1", "native", requests=3)
+        document = snapshot_document(run.metrics)
+        assert document["schema"] == SCHEMA
+        assert document["metrics"]["machine.load.slow"] > 0
+        assert document["generated"]["since_cycle"] == 0

@@ -1,4 +1,4 @@
-"""Tests for the SafeMem facade: config modes, realloc, statistics."""
+"""Tests for the SafeMem facade: config modes, realloc, telemetry."""
 
 import pytest
 
@@ -144,15 +144,16 @@ class TestCalloc:
 
 
 class TestStatisticsAndAccounting:
-    def test_statistics_keys(self):
+    def test_telemetry_names(self):
         program, safemem = make_program(full_config())
         buf = program.malloc(64)
         program.free(buf)
-        stats = safemem.statistics()
-        for key in ("watch_arms", "watch_disarms", "pin_failures",
-                    "space_overhead", "leak_reports",
-                    "corruption_reports", "groups"):
-            assert key in stats
+        snapshot = safemem.telemetry()
+        for name in ("safemem.watch.arms", "safemem.watch.disarms",
+                     "safemem.watch.pin_failures",
+                     "safemem.space.overhead", "safemem.leak.reports",
+                     "safemem.corruption.reports", "safemem.leak.groups"):
+            assert name in snapshot
 
     def test_space_overhead_zero_before_allocs(self):
         _program, safemem = make_program(full_config())

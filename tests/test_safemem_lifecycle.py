@@ -31,23 +31,24 @@ class TestDetachedMonitor:
         safemem = SafeMem()
         safemem.on_exit()  # must not raise AttributeError
 
-    def test_statistics_before_attach_reports_zeros(self):
+    def test_telemetry_before_attach_reports_zeros(self):
         safemem = SafeMem()
-        stats = safemem.statistics()
-        assert stats["watch_arms"] == 0
-        assert stats["watch_disarms"] == 0
-        assert stats["pin_failures"] == 0
-        assert stats["hardware_errors_repaired"] == 0
-        assert stats["space_overhead"] == 0.0
+        snapshot = safemem.telemetry()
+        assert snapshot.get("safemem.watch.arms") == 0
+        assert snapshot.get("safemem.watch.disarms") == 0
+        assert snapshot.get("safemem.watch.pin_failures") == 0
+        assert snapshot.get("safemem.watch.hw_repaired") == 0
+        assert safemem.space_overhead_fraction() == 0.0
 
-    def test_statistics_after_attach_includes_perf_counters(self):
+    def test_telemetry_after_attach_includes_machine_metrics(self):
         program, safemem = make_program(leak_only_config())
         buf = program.malloc(64)
         program.store(buf, b"x")
         program.load(buf, 1)
-        stats = safemem.statistics()
-        for key in ("tlb_hits", "fast_loads", "ecc_batched_line_writes"):
-            assert key in stats
+        snapshot = safemem.telemetry()
+        for name in ("mmu.tlb.hit", "machine.load.fast",
+                     "ecc.codec.lines_batched"):
+            assert name in snapshot
 
 
 class TestWrapAllocatorFailedAlloc:

@@ -1,0 +1,94 @@
+"""Benchmark: sharded validation vs the serial path.
+
+Times ``repro validate`` end to end at a reduced request count, once
+with ``--jobs 1`` and once with ``--jobs 4``, and records the
+wall-clock comparison in ``BENCH_fleet.json``.  The asserted property
+is **identity** -- both modes must produce the same claim verdicts and
+the same rendered validation table -- not speedup: on a single-CPU
+container the pool's process spawn + pickle traffic makes the parallel
+run *slower*, and that is a legitimate, machine-dependent result the
+report captures honestly (``cpu_count`` is recorded next to the
+timings; on a multi-core machine ``speedup`` exceeds 1).
+
+Run directly (``python benchmarks/bench_fleet.py``) or through pytest
+(marked ``slow``, so the tier-1 run never pays for it).
+"""
+
+import os
+import pathlib
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+import pytest
+
+from conftest import write_bench_json
+
+pytestmark = pytest.mark.slow
+
+#: reduced request count -- identity holds at any config and the
+#: comparison only needs representative per-shard work.
+REQUESTS = 20
+PARALLEL_JOBS = 4
+
+
+def _timed_validation(jobs):
+    from repro.analysis.fleet import run_validation
+    start = time.perf_counter()
+    run = run_validation(requests=REQUESTS, jobs=jobs, use_cache=False)
+    return run, time.perf_counter() - start
+
+
+def run_benchmark():
+    from repro.analysis.claims import render_validation
+
+    serial, serial_seconds = _timed_validation(jobs=1)
+    sharded, parallel_seconds = _timed_validation(jobs=PARALLEL_JOBS)
+
+    serial_verdicts = [(r.claim.ident, r.passed) for r in serial.results]
+    sharded_verdicts = [(r.claim.ident, r.passed)
+                        for r in sharded.results]
+    report = {
+        "benchmark": "fleet",
+        "requests": REQUESTS,
+        "cpu_count": os.cpu_count(),
+        "parallel_jobs": PARALLEL_JOBS,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+        "verdicts_identical": serial_verdicts == sharded_verdicts,
+        "tables_identical": (
+            render_validation(serial.results)
+            == render_validation(sharded.results)
+        ),
+        "verdicts": [
+            {"ident": ident, "passed": passed}
+            for ident, passed in serial_verdicts
+        ],
+    }
+    write_bench_json("fleet", report)
+    return report
+
+
+def test_bench_fleet():
+    report = run_benchmark()
+    assert report["verdicts_identical"]
+    assert report["tables_identical"]
+
+
+def main():
+    report = run_benchmark()
+    print(f"wrote BENCH_fleet.json ({report['cpu_count']} CPU(s))")
+    print(f"serial   (--jobs 1): {report['serial_seconds']:.2f} s")
+    print(f"parallel (--jobs {report['parallel_jobs']}): "
+          f"{report['parallel_seconds']:.2f} s "
+          f"({report['speedup']:.2f}x)")
+    print(f"verdicts identical: {report['verdicts_identical']}, "
+          f"tables identical: {report['tables_identical']}")
+
+
+if __name__ == "__main__":
+    main()

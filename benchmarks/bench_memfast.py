@@ -15,7 +15,6 @@ Run directly (``python benchmarks/bench_memfast.py``) or through pytest
 (marked ``slow``, so the tier-1 run never pays for it).
 """
 
-import json
 import pathlib
 import sys
 import time
@@ -25,6 +24,8 @@ sys.path.insert(
 )
 
 import pytest
+
+from conftest import write_bench_json
 
 from repro.common.constants import CACHE_LINE_SIZE, PAGE_SIZE
 from repro.machine.machine import Machine
@@ -149,7 +150,7 @@ def run_benchmark():
             fast["hot_stores_ops_per_sec"] / slow["hot_stores_ops_per_sec"]
         ),
     }
-    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    write_bench_json("memfast", report)
     return report
 
 

@@ -8,9 +8,11 @@ experiment so `--benchmark-only` also yields meaningful wall-clock
 numbers for the simulator itself.
 """
 
+import json
 import pathlib
 
-RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_DIR = REPO_ROOT / "results"
 
 
 def publish(name, rendered):
@@ -19,3 +21,14 @@ def publish(name, rendered):
     (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n")
     print()
     print(rendered)
+
+
+def write_bench_json(name, report):
+    """Persist a machine-readable benchmark report at the repo root.
+
+    Convention shared by the ``bench_*`` modules: one
+    ``BENCH_<name>.json`` per benchmark, overwritten on every run.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path

@@ -4,6 +4,14 @@ Each ``experiment_*`` function runs the simulation and returns a result
 object with structured rows plus a ``render()`` producing the
 paper-style text table.  The benchmarks under ``benchmarks/`` call
 these and print the output next to the paper's reference values.
+
+Every multi-workload experiment is built from a per-workload unit
+function (``table3_row``, ``table4_row``, ``table5_row``,
+``figure3_series``): the serial ``experiment_*`` loop and the sharded
+fleet scheduler (:mod:`repro.analysis.fleet`) both call the same unit,
+which is what keeps ``repro validate --jobs N`` bit-identical to the
+serial path -- each unit boots its own machines and the simulation is
+deterministic per (workload, config, seed).
 """
 
 from dataclasses import dataclass, field
@@ -157,37 +165,41 @@ def detection_succeeded(result, bug_class):
     return bool(reported & truth.leaked_addresses)
 
 
+def table3_row(name, requests=250, detection_requests=None):
+    """One workload's Table 3 measurements (overheads + detection)."""
+    bug_class = "ML" if name in LEAK_WORKLOADS else "MC"
+    native = run_workload(name, "native", requests=requests)
+    ml = run_workload(name, "safemem-ml", requests=requests)
+    mc = run_workload(name, "safemem-mc", requests=requests)
+    full = run_workload(name, "safemem", requests=requests)
+    purify = run_workload(name, "purify", requests=requests)
+    for run in (native, ml, mc, full, purify):
+        if run.truth.detection is not None:
+            raise AssertionError(
+                f"{name} normal-input run under {run.monitor_name} "
+                f"unexpectedly reported a bug: {run.truth.detection}"
+            )
+    buggy = run_workload(name, "safemem", buggy=True,
+                         requests=detection_requests)
+    detected = detection_succeeded(buggy, _bug_of(name))
+    return Table3Row(
+        workload=name,
+        bug_class=bug_class,
+        detected=detected,
+        ml_overhead=overhead_percent(ml.cycles, native.cycles),
+        mc_overhead=overhead_percent(mc.cycles, native.cycles),
+        full_overhead=overhead_percent(full.cycles, native.cycles),
+        purify_slowdown=slowdown_factor(purify.cycles, native.cycles),
+    )
+
+
 def experiment_table3(requests=250, detection_requests=None):
     """Overheads on normal inputs + detection on buggy inputs."""
-    rows = []
-    for name in all_workload_names():
-        bug_class = "ML" if name in LEAK_WORKLOADS else "MC"
-        native = run_workload(name, "native", requests=requests)
-        ml = run_workload(name, "safemem-ml", requests=requests)
-        mc = run_workload(name, "safemem-mc", requests=requests)
-        full = run_workload(name, "safemem", requests=requests)
-        purify = run_workload(name, "purify", requests=requests)
-        for run in (native, ml, mc, full, purify):
-            if run.truth.detection is not None:
-                raise AssertionError(
-                    f"{name} normal-input run under {run.monitor_name} "
-                    f"unexpectedly reported a bug: {run.truth.detection}"
-                )
-        buggy = run_workload(name, "safemem", buggy=True,
-                             requests=detection_requests)
-        workload_bug = buggy.truth
-        detected = detection_succeeded(buggy, _bug_of(name))
-        del workload_bug
-        rows.append(Table3Row(
-            workload=name,
-            bug_class=bug_class,
-            detected=detected,
-            ml_overhead=overhead_percent(ml.cycles, native.cycles),
-            mc_overhead=overhead_percent(mc.cycles, native.cycles),
-            full_overhead=overhead_percent(full.cycles, native.cycles),
-            purify_slowdown=slowdown_factor(purify.cycles, native.cycles),
-        ))
-    return Table3Result(rows=rows)
+    return Table3Result(rows=[
+        table3_row(name, requests=requests,
+                   detection_requests=detection_requests)
+        for name in all_workload_names()
+    ])
 
 
 def _bug_of(name):
@@ -236,18 +248,23 @@ class Table4Result:
         return [row.reduction_factor for row in self.rows]
 
 
+def table4_row(name, requests=250):
+    """One workload's guard-space waste under both mechanisms."""
+    ecc = run_workload(name, "safemem", requests=requests)
+    page = run_workload(name, "pageprot", requests=requests)
+    return Table4Row(
+        workload=name,
+        ecc_overhead_pct=ecc.monitor.space_overhead_fraction() * 100,
+        page_overhead_pct=page.monitor.space_overhead_fraction() * 100,
+    )
+
+
 def experiment_table4(requests=250):
     """Space overhead over requested bytes, both guard mechanisms."""
-    rows = []
-    for name in all_workload_names():
-        ecc = run_workload(name, "safemem", requests=requests)
-        page = run_workload(name, "pageprot", requests=requests)
-        rows.append(Table4Row(
-            workload=name,
-            ecc_overhead_pct=ecc.monitor.space_overhead_fraction() * 100,
-            page_overhead_pct=page.monitor.space_overhead_fraction() * 100,
-        ))
-    return Table4Result(rows=rows)
+    return Table4Result(rows=[
+        table4_row(name, requests=requests)
+        for name in all_workload_names()
+    ])
 
 
 # ----------------------------------------------------------------------
@@ -287,23 +304,27 @@ class Table5Result:
         )
 
 
+def table5_row(name, requests=None):
+    """One leak application's false-positive counts (buggy input)."""
+    result = run_workload(name, "safemem", buggy=True,
+                          requests=requests)
+    leak = result.monitor.leak
+    truth = result.truth
+    flagged = {s.object_address for s in leak.suspect_records}
+    reported = {r.object_address for r in leak.reports}
+    return Table5Row(
+        workload=name,
+        before_pruning=len(flagged - truth.leaked_addresses),
+        after_pruning=len(reported - truth.leaked_addresses),
+        true_leaks_reported=len(reported & truth.leaked_addresses),
+    )
+
+
 def experiment_table5(requests=None):
     """False positives on the four leak applications (buggy inputs)."""
-    rows = []
-    for name in LEAK_WORKLOADS:
-        result = run_workload(name, "safemem", buggy=True,
-                              requests=requests)
-        leak = result.monitor.leak
-        truth = result.truth
-        flagged = {s.object_address for s in leak.suspect_records}
-        reported = {r.object_address for r in leak.reports}
-        rows.append(Table5Row(
-            workload=name,
-            before_pruning=len(flagged - truth.leaked_addresses),
-            after_pruning=len(reported - truth.leaked_addresses),
-            true_leaks_reported=len(reported & truth.leaked_addresses),
-        ))
-    return Table5Result(rows=rows)
+    return Table5Result(rows=[
+        table5_row(name, requests=requests) for name in LEAK_WORKLOADS
+    ])
 
 
 # ----------------------------------------------------------------------
@@ -345,6 +366,24 @@ class Figure3Result:
         return "\n\n".join(blocks)
 
 
+#: the three leak servers of the paper's Section 3.1 stability study.
+FIGURE3_WORKLOADS = ("ypserv1", "proftpd", "squid1")
+
+
+def figure3_series(name, requests=None, min_frees=3):
+    """One workload's WarmUpTime CDF; returns (series, run_seconds)."""
+    result = run_workload(name, "profiler", requests=requests)
+    warmups = result.monitor.warmup_times_seconds(min_frees=min_frees)
+    points = [
+        (warmup, (index + 1) / len(warmups) * 100.0)
+        for index, warmup in enumerate(warmups)
+    ]
+    series = Figure3Series(
+        workload=name, points=points, total_groups=len(warmups),
+    )
+    return series, result.cpu_seconds
+
+
 def experiment_figure3(requests=None, min_frees=3):
     """Per-group WarmUpTime CDF for the three leak servers.
 
@@ -354,15 +393,9 @@ def experiment_figure3(requests=None, min_frees=3):
     """
     series = []
     run_seconds = {}
-    for name in ("ypserv1", "proftpd", "squid1"):
-        result = run_workload(name, "profiler", requests=requests)
-        warmups = result.monitor.warmup_times_seconds(min_frees=min_frees)
-        points = [
-            (warmup, (index + 1) / len(warmups) * 100.0)
-            for index, warmup in enumerate(warmups)
-        ]
-        series.append(Figure3Series(
-            workload=name, points=points, total_groups=len(warmups),
-        ))
-        run_seconds[name] = result.cpu_seconds
+    for name in FIGURE3_WORKLOADS:
+        one, seconds = figure3_series(name, requests=requests,
+                                      min_frees=min_frees)
+        series.append(one)
+        run_seconds[name] = seconds
     return Figure3Result(series=series, run_seconds=run_seconds)

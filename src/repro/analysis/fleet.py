@@ -1,0 +1,555 @@
+"""Sharded experiment fleet: parallel validation and fleet scenarios.
+
+Every SafeMem experiment is an independent simulated machine, so the
+whole evaluation shards cleanly across worker processes (the same shape
+that lets GWP-ASan spread sampled detection across a production fleet).
+This module provides the scheduler:
+
+- :func:`enumerate_validation_jobs` breaks ``repro validate`` into
+  per-workload **jobs** (one Table 3 row, one Table 4 row, ... each a
+  self-contained simulation with declared parameters);
+- :func:`run_jobs` fans jobs out over ``jobs`` worker processes
+  (default ``os.cpu_count()``), collects their JSON-able payloads and
+  per-machine telemetry dumps, and merges the telemetry into one
+  fleet-wide snapshot (:mod:`repro.obs.merge`);
+- :class:`ResultCache` memoizes completed job payloads keyed by
+  ``(job config, code digest)`` so a no-op re-run is near-instant;
+- :func:`run_validation` reassembles the shards into the *same* context
+  dict, claim verdicts, and rendered tables the serial path produces --
+  bit-identical, because both paths call the same per-workload unit
+  functions in :mod:`repro.analysis.experiments` and the simulation is
+  deterministic per (workload, config, seed);
+- :func:`run_fleet` is the fleet-scale scenario: M concurrent simulated
+  machines of one workload, telemetry aggregated across the fleet.
+
+Payloads cross the process boundary (and enter the cache) in a
+JSON-able encoding; the in-process ``jobs=1`` path round-trips through
+the same encoding so serial and parallel runs cannot diverge through
+the codec.  Telemetry dumps are *not* cached: merged fleet telemetry
+describes machines that actually ran, so a fully-cached validation
+reports no telemetry rather than stale telemetry.
+"""
+
+import hashlib
+import json
+import multiprocessing
+import os
+import pathlib
+from dataclasses import asdict, dataclass, field
+
+from repro.analysis.experiments import (
+    FIGURE3_WORKLOADS,
+    Figure3Result,
+    Figure3Series,
+    Table2Result,
+    Table3Result,
+    Table3Row,
+    Table4Result,
+    Table4Row,
+    Table5Result,
+    Table5Row,
+    experiment_table2,
+    figure3_series,
+    table3_row,
+    table4_row,
+    table5_row,
+)
+from repro.analysis.runner import (
+    add_run_tap,
+    overhead_percent,
+    remove_run_tap,
+    run_workload,
+)
+from repro.common.digest import package_digest
+from repro.common.errors import ConfigurationError, FleetError
+from repro.obs.merge import dump_registry, merge_dumps
+from repro.workloads.registry import LEAK_WORKLOADS, all_workload_names
+
+CACHE_SCHEMA = "repro.fleet-cache/v1"
+
+
+# ----------------------------------------------------------------------
+# Job model: (kind, ident, params) tuples -- picklable, cacheable
+# ----------------------------------------------------------------------
+def _encode_table2(result):
+    return {"rows": [list(row) for row in result.rows]}
+
+
+def _decode_table2(payload):
+    return Table2Result(rows=[
+        (name, measured, reference)
+        for name, measured, reference in payload["rows"]
+    ])
+
+
+def _decode_figure3_series(payload):
+    series = Figure3Series(
+        workload=payload["workload"],
+        points=[tuple(point) for point in payload["points"]],
+        total_groups=payload["total_groups"],
+    )
+    return series, payload["run_seconds"]
+
+
+@dataclass(frozen=True)
+class _JobKind:
+    run: object      # params dict -> payload object
+    encode: object   # payload object -> JSON-able dict
+    decode: object   # JSON-able dict -> payload object
+
+
+def _run_fleet_machine(params):
+    """One fleet machine: run the workload, summarize the outcome."""
+    result = run_workload(
+        params["workload"], params["monitor"], buggy=params["buggy"],
+        requests=params["requests"], seed=params["seed"],
+    )
+    truth = result.truth
+    overhead = None
+    if params["monitor"] != "native" and truth.detection is None:
+        native = run_workload(
+            params["workload"], "native", buggy=params["buggy"],
+            requests=params["requests"], seed=params["seed"],
+        )
+        overhead = overhead_percent(result.cycles, native.cycles)
+    monitor = result.monitor
+    return MachineReport(
+        index=params["index"],
+        seed=params["seed"],
+        cycles=result.cycles,
+        requests_completed=truth.requests_completed,
+        requests=result.requests,
+        detection=(str(truth.detection.report)
+                   if truth.detection is not None else None),
+        leak_reports=len(getattr(monitor, "leak_reports", ()) or ()),
+        corruption_reports=len(
+            getattr(monitor, "corruption_reports", ()) or ()),
+        overhead_pct=overhead,
+    )
+
+
+JOB_KINDS = {
+    "table2": _JobKind(
+        run=lambda params: experiment_table2(),
+        encode=_encode_table2,
+        decode=_decode_table2,
+    ),
+    "table3-row": _JobKind(
+        run=lambda params: table3_row(
+            params["name"], requests=params["requests"],
+            detection_requests=params["detection_requests"]),
+        encode=asdict,
+        decode=lambda payload: Table3Row(**payload),
+    ),
+    "table4-row": _JobKind(
+        run=lambda params: table4_row(
+            params["name"], requests=params["requests"]),
+        encode=asdict,
+        decode=lambda payload: Table4Row(**payload),
+    ),
+    "table5-row": _JobKind(
+        run=lambda params: table5_row(
+            params["name"], requests=params["requests"]),
+        encode=asdict,
+        decode=lambda payload: Table5Row(**payload),
+    ),
+    "figure3-series": _JobKind(
+        run=lambda params: figure3_series(
+            params["name"], requests=params["requests"]),
+        encode=lambda payload: {**asdict(payload[0]),
+                                "run_seconds": payload[1]},
+        decode=_decode_figure3_series,
+    ),
+    "fleet-machine": _JobKind(
+        run=_run_fleet_machine,
+        encode=asdict,
+        decode=lambda payload: MachineReport(**payload),
+    ),
+}
+
+
+def enumerate_validation_jobs(requests=250):
+    """The validation run as independent jobs, in canonical order."""
+    specs = [("table2", "table2", {})]
+    for name in all_workload_names():
+        specs.append(("table3-row", f"table3:{name}",
+                      {"name": name, "requests": requests,
+                       "detection_requests": None}))
+    for name in all_workload_names():
+        specs.append(("table4-row", f"table4:{name}",
+                      {"name": name, "requests": requests}))
+    for name in LEAK_WORKLOADS:
+        specs.append(("table5-row", f"table5:{name}",
+                      {"name": name, "requests": None}))
+    for name in FIGURE3_WORKLOADS:
+        specs.append(("figure3-series", f"figure3:{name}",
+                      {"name": name, "requests": None}))
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Result cache: (job config, code digest) -> payload
+# ----------------------------------------------------------------------
+def default_cache_dir():
+    """``$REPRO_CACHE_DIR`` or ``.repro-cache`` under the CWD."""
+    return pathlib.Path(os.environ.get("REPRO_CACHE_DIR",
+                                       ".repro-cache"))
+
+
+class ResultCache:
+    """Experiment payloads keyed by job config + source digest.
+
+    Any change to the job parameters or to any ``repro`` source file
+    produces a new key, so stale hits are impossible as long as the
+    simulation itself stays deterministic (it is: no wall-clock, no
+    unseeded randomness).
+    """
+
+    def __init__(self, root):
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, spec, code_digest=None):
+        kind, ident, params = spec
+        material = json.dumps(
+            {"kind": kind, "ident": ident, "params": params,
+             "code": code_digest or package_digest()},
+            sort_keys=True,
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def load(self, key):
+        path = self.root / f"{key}.json"
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if entry.get("schema") != CACHE_SCHEMA:
+            return None
+        return entry
+
+    def store(self, key, spec, payload):
+        kind, ident, params = spec
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {"schema": CACHE_SCHEMA, "kind": kind, "ident": ident,
+                 "params": params, "payload": payload}
+        path = self.root / f"{key}.json"
+        staging = path.with_suffix(".tmp")
+        staging.write_text(json.dumps(entry, sort_keys=True) + "\n")
+        staging.replace(path)
+
+
+# ----------------------------------------------------------------------
+# Execution: one job per task, in-process or over a worker pool
+# ----------------------------------------------------------------------
+def _execute_job(spec):
+    """Run one job; returns (ident, payload, telemetry dumps, error).
+
+    Top-level so it pickles under any multiprocessing start method.  A
+    run tap captures every machine the job boots (each ``run_workload``
+    call builds a fresh machine, so absolute registry state is per-run
+    state and the dumps never double count).
+    """
+    kind, ident, params = spec
+    dumps = []
+    tap = add_run_tap(
+        lambda result: dumps.append(dump_registry(result.machine.metrics))
+    )
+    try:
+        payload = JOB_KINDS[kind].run(params)
+        return ident, JOB_KINDS[kind].encode(payload), dumps, None
+    except Exception as error:
+        return ident, None, dumps, f"{type(error).__name__}: {error}"
+    finally:
+        remove_run_tap(tap)
+
+
+@dataclass
+class FleetOutcome:
+    """Everything a sharded run produced."""
+
+    #: ident -> decoded payload object.
+    payloads: dict
+    #: merged fleet telemetry (a Snapshot), or None when nothing ran.
+    metrics: object
+    #: raw per-machine registry dumps (merge input; empty on cache hits).
+    dumps: list = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    workers: int = 1
+
+
+def resolve_jobs(jobs):
+    """``None`` means one worker per CPU (the fleet default)."""
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ConfigurationError(f"--jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def run_jobs(specs, jobs=None, cache=None):
+    """Run job specs (sharded over processes when ``jobs > 1``).
+
+    Payloads come back decoded, keyed by ident.  Any job error raises
+    :class:`FleetError` naming every failed shard -- matching the
+    serial path, which would have propagated the first exception.
+    """
+    jobs = resolve_jobs(jobs)
+    idents = [spec[1] for spec in specs]
+    if len(set(idents)) != len(idents):
+        raise ConfigurationError("duplicate job idents in fleet run")
+
+    encoded = {}
+    hits = misses = 0
+    pending = []
+    for spec in specs:
+        if cache is not None:
+            key = cache.key_for(spec)
+            entry = cache.load(key)
+            if entry is not None:
+                encoded[spec[1]] = entry["payload"]
+                hits += 1
+                continue
+            misses += 1
+        pending.append(spec)
+
+    dumps = []
+    failures = {}
+    workers = min(jobs, len(pending)) or 1
+    if pending:
+        if workers > 1:
+            with multiprocessing.Pool(processes=workers) as pool:
+                outcomes = pool.imap_unordered(_execute_job, pending,
+                                               chunksize=1)
+                outcomes = list(outcomes)
+        else:
+            outcomes = [_execute_job(spec) for spec in pending]
+        by_ident = {spec[1]: spec for spec in pending}
+        for ident, payload, job_dumps, error in outcomes:
+            dumps.extend(job_dumps)
+            if error is not None:
+                failures[ident] = error
+                continue
+            encoded[ident] = payload
+            if cache is not None:
+                spec = by_ident[ident]
+                cache.store(cache.key_for(spec), spec, payload)
+    if failures:
+        raise FleetError(failures)
+    if cache is not None:
+        cache.hits += hits
+        cache.misses += misses
+
+    kinds = {spec[1]: spec[0] for spec in specs}
+    payloads = {ident: JOB_KINDS[kinds[ident]].decode(payload)
+                for ident, payload in encoded.items()}
+    return FleetOutcome(
+        payloads=payloads,
+        metrics=merge_dumps(dumps) if dumps else None,
+        dumps=dumps,
+        cache_hits=hits,
+        cache_misses=misses,
+        workers=workers,
+    )
+
+
+# ----------------------------------------------------------------------
+# Validation assembly: shards -> the serial context, verbatim
+# ----------------------------------------------------------------------
+def assemble_context(payloads):
+    """Rebuild the ``claims.gather_context`` dict from job payloads.
+
+    Row order is the canonical workload order the serial loops use, so
+    rendered tables match the serial output byte for byte.
+    """
+    series = []
+    run_seconds = {}
+    for name in FIGURE3_WORKLOADS:
+        one, seconds = payloads[f"figure3:{name}"]
+        series.append(one)
+        run_seconds[name] = seconds
+    return {
+        "table2": payloads["table2"],
+        "table3": Table3Result(rows=[
+            payloads[f"table3:{name}"] for name in all_workload_names()
+        ]),
+        "table4": Table4Result(rows=[
+            payloads[f"table4:{name}"] for name in all_workload_names()
+        ]),
+        "table5": Table5Result(rows=[
+            payloads[f"table5:{name}"] for name in LEAK_WORKLOADS
+        ]),
+        "figure3": Figure3Result(series=series, run_seconds=run_seconds),
+    }
+
+
+@dataclass
+class ValidationRun:
+    """A full validation: claim results + context + fleet outcome."""
+
+    results: list
+    context: dict
+    outcome: FleetOutcome
+
+    @property
+    def passed(self):
+        return all(result.passed for result in self.results)
+
+    def failed_idents(self):
+        return [r.claim.ident for r in self.results if not r.passed]
+
+
+def run_validation(requests=250, jobs=None, cache_dir=None,
+                   use_cache=True):
+    """Sharded ``repro validate``: enumerate, fan out, merge, check.
+
+    ``jobs=1`` runs every shard in-process (no pool) but still through
+    the payload codec, so the only difference parallelism introduces is
+    which process executed a shard.
+    """
+    from repro.analysis.claims import validate
+    cache = None
+    if use_cache:
+        cache = ResultCache(cache_dir if cache_dir is not None
+                            else default_cache_dir())
+    specs = enumerate_validation_jobs(requests=requests)
+    outcome = run_jobs(specs, jobs=jobs, cache=cache)
+    context = assemble_context(outcome.payloads)
+    return ValidationRun(results=validate(context=context),
+                         context=context, outcome=outcome)
+
+
+RESULT_FILES = ("table2", "table3", "table4", "table5", "figure3")
+
+
+def write_result_artifacts(context, results_dir):
+    """Render every experiment into ``results/`` (benchmark layout).
+
+    Same file names and format as the benchmark suite's ``publish``
+    helper, so serial benchmarks, serial validate, and sharded validate
+    all converge on one artifact layout.
+    """
+    results_dir = pathlib.Path(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in RESULT_FILES:
+        path = results_dir / f"{name}.txt"
+        path.write_text(context[name].render() + "\n")
+        written.append(path)
+    return written
+
+
+# ----------------------------------------------------------------------
+# Fleet scenario: M concurrent machines of one workload
+# ----------------------------------------------------------------------
+@dataclass
+class MachineReport:
+    """Summary of one fleet machine's run (crosses processes as JSON)."""
+
+    index: int
+    seed: int
+    cycles: int
+    requests_completed: int
+    requests: int
+    detection: object
+    leak_reports: int
+    corruption_reports: int
+    overhead_pct: object
+
+
+@dataclass
+class FleetResult:
+    """Aggregated outcome of M machines running one workload."""
+
+    workload: str
+    monitor: str
+    buggy: bool
+    reports: list
+    #: merged fleet telemetry Snapshot (see repro.obs.merge).
+    metrics: object
+    workers: int
+
+    @property
+    def total_faults(self):
+        return self.metrics.get("kernel.ecc_traps", 0) \
+            if self.metrics is not None else 0
+
+    @property
+    def total_leak_reports(self):
+        return sum(report.leak_reports for report in self.reports)
+
+    @property
+    def total_corruption_reports(self):
+        return sum(report.corruption_reports for report in self.reports)
+
+    def overhead_distribution(self):
+        """(min, median, max) overhead across machines, or None."""
+        overheads = sorted(report.overhead_pct for report in self.reports
+                           if report.overhead_pct is not None)
+        if not overheads:
+            return None
+        return (overheads[0], overheads[len(overheads) // 2],
+                overheads[-1])
+
+    def render(self):
+        from repro.analysis.tables import fmt_percent, render_table
+        rows = []
+        for report in self.reports:
+            rows.append((
+                report.index,
+                report.seed,
+                f"{report.cycles:,}",
+                f"{report.requests_completed}/{report.requests}",
+                (fmt_percent(report.overhead_pct)
+                 if report.overhead_pct is not None else "-"),
+                report.leak_reports,
+                report.corruption_reports,
+                report.detection or "-",
+            ))
+        distribution = self.overhead_distribution()
+        note = (f"fleet totals: {self.total_faults} ECC faults, "
+                f"{self.total_leak_reports} leak reports, "
+                f"{self.total_corruption_reports} corruption reports")
+        if distribution is not None:
+            low, median, high = distribution
+            note += (f"; overhead min/median/max "
+                     f"{fmt_percent(low)}/{fmt_percent(median)}/"
+                     f"{fmt_percent(high)}")
+        return render_table(
+            f"Fleet: {len(self.reports)} machines of {self.workload} "
+            f"under {self.monitor} "
+            f"({'buggy' if self.buggy else 'normal'} input)",
+            ["machine", "seed", "cycles", "requests", "overhead",
+             "leaks", "corruption", "detection"],
+            rows,
+            note=note,
+        )
+
+
+def run_fleet(workload, machines=4, monitor="safemem", requests=None,
+              buggy=False, jobs=None, base_seed=0):
+    """Run ``machines`` simulated machines of one workload concurrently.
+
+    Each machine gets its own seed (``base_seed + index``) so the fleet
+    sees naturally varied traffic, and its telemetry merges into one
+    fleet snapshot -- total faults, total reports, and an overhead
+    distribution instead of a single anecdote.
+    """
+    if machines < 1:
+        raise ConfigurationError(
+            f"--machines must be >= 1, got {machines}")
+    specs = [
+        ("fleet-machine", f"fleet:{workload}:{index}",
+         {"workload": workload, "monitor": monitor, "buggy": buggy,
+          "requests": requests, "seed": base_seed + index,
+          "index": index})
+        for index in range(machines)
+    ]
+    outcome = run_jobs(specs, jobs=jobs, cache=None)
+    reports = [outcome.payloads[f"fleet:{workload}:{index}"]
+               for index in range(machines)]
+    return FleetResult(workload=workload, monitor=monitor, buggy=buggy,
+                       reports=reports, metrics=outcome.metrics,
+                       workers=outcome.workers)

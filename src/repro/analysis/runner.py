@@ -52,6 +52,24 @@ class RunResult:
         return self.cycles / CYCLES_PER_SECOND
 
 
+#: observers called with every finished :class:`RunResult`.  The fleet
+#: scheduler installs a tap in each worker process to accumulate the
+#: telemetry of every machine its jobs boot (the machines themselves
+#: never cross the process boundary; their registry dumps do).
+_RUN_TAPS = []
+
+
+def add_run_tap(tap):
+    """Register ``tap(result)`` to observe every finished run."""
+    _RUN_TAPS.append(tap)
+    return tap
+
+
+def remove_run_tap(tap):
+    """Unregister a tap installed with :func:`add_run_tap`."""
+    _RUN_TAPS.remove(tap)
+
+
 MONITOR_FACTORIES = {
     "native": lambda: NullMonitor(),
     "profiler": lambda: _make_profiler(),
@@ -112,7 +130,7 @@ def run_workload(workload_name, monitor_name="native", buggy=False,
     if release:
         program.release()
     end = machine.metrics.snapshot()
-    return RunResult(
+    result = RunResult(
         workload=workload_name,
         monitor_name=monitor_name,
         buggy=buggy,
@@ -124,6 +142,9 @@ def run_workload(workload_name, monitor_name="native", buggy=False,
         requests=workload.requests,
         metrics=end.delta(start),
     )
+    for tap in _RUN_TAPS:
+        tap(result)
+    return result
 
 
 def overhead_percent(monitored_cycles, native_cycles):

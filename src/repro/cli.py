@@ -5,15 +5,23 @@ Commands:
 - ``table2`` / ``table3`` / ``table4`` / ``table5`` / ``figure3``
   regenerate one experiment and print the paper-style table;
 - ``report``  runs everything and prints a combined report;
+- ``validate`` re-verifies every reproduction claim (PASS/FAIL
+  matrix); ``--jobs N`` shards the experiments over worker processes,
+  a content-keyed result cache makes no-op re-runs near-instant
+  (``--no-cache`` forces recomputation) -- see ``docs/VALIDATION.md``;
+- ``fleet``   runs M concurrent simulated machines of one workload and
+  aggregates their telemetry across the fleet;
 - ``run``     runs one workload under one monitor and prints a summary;
 - ``stats``   runs one workload and prints its metrics snapshot;
 - ``list``    shows the available workloads and monitors.
 
-``run`` and ``stats`` accept ``--emit-metrics PATH`` to write the run's
-registry snapshot as a ``repro.metrics/v1`` JSON document.
+``run``, ``stats``, ``validate``, and ``fleet`` accept
+``--emit-metrics PATH`` to write the run's (merged) registry snapshot
+as a ``repro.metrics/v1`` JSON document.
 """
 
 import argparse
+import pathlib
 import sys
 
 from repro.analysis.experiments import (
@@ -65,6 +73,71 @@ def build_parser():
         help="re-verify every reproduction claim (PASS/FAIL matrix)",
     )
     validate_parser.add_argument("--requests", type=int, default=250)
+    validate_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes to shard the experiments over "
+             "(default: one per CPU)",
+    )
+    validate_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every experiment, ignoring the result cache",
+    )
+    validate_parser.add_argument(
+        "--cache-dir", default=None,
+        help="result cache location (default: $REPRO_CACHE_DIR or "
+             "./.repro-cache)",
+    )
+    validate_parser.add_argument(
+        "--write-results", action="store_true",
+        help="also render every experiment into --results-dir "
+             "(the benchmark suite's results/ layout)",
+    )
+    validate_parser.add_argument("--results-dir", default="results")
+    validate_parser.add_argument(
+        "--write-experiments-md", action="store_true",
+        help="rewrite the claim matrix block in EXPERIMENTS.md in "
+             "place",
+    )
+    validate_parser.add_argument(
+        "--experiments-md", default=None,
+        help="path to EXPERIMENTS.md (default: the repo checkout's)",
+    )
+    validate_parser.add_argument(
+        "--emit-metrics", metavar="PATH", default=None,
+        help="write the merged fleet telemetry as repro.metrics/v1 "
+             "JSON (covers freshly-run experiments only)",
+    )
+
+    fleet_parser = sub.add_parser(
+        "fleet",
+        help="run M concurrent simulated machines of one workload and "
+             "aggregate their telemetry",
+    )
+    fleet_parser.add_argument("workload", choices=sorted(WORKLOADS))
+    fleet_parser.add_argument(
+        "--machines", type=int, default=4,
+        help="simulated machines to run (default 4)",
+    )
+    fleet_parser.add_argument(
+        "--monitor", default="safemem",
+        choices=sorted(MONITOR_FACTORIES),
+    )
+    fleet_parser.add_argument("--buggy", action="store_true",
+                              help="use the bug-triggering input")
+    fleet_parser.add_argument("--requests", type=int, default=None)
+    fleet_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed; machine i runs with seed base+i",
+    )
+    fleet_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: one per CPU)",
+    )
+    fleet_parser.add_argument(
+        "--emit-metrics", metavar="PATH", default=None,
+        help="write the merged fleet telemetry as repro.metrics/v1 "
+             "JSON",
+    )
 
     run_parser = sub.add_parser(
         "run", help="run one workload under one monitor"
@@ -204,6 +277,76 @@ def command_stats(args, out):
     return 0
 
 
+def default_experiments_md():
+    """EXPERIMENTS.md of the repo this package was imported from."""
+    import repro
+    return pathlib.Path(repro.__file__).resolve().parents[2] / \
+        "EXPERIMENTS.md"
+
+
+def command_validate(args, out):
+    from repro.analysis import fleet
+    from repro.analysis.claims import (
+        render_validation,
+        write_experiments_block,
+    )
+    run = fleet.run_validation(
+        requests=args.requests,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    out.write(render_validation(run.results) + "\n")
+    if not args.no_cache:
+        outcome = run.outcome
+        out.write(f"cache: {outcome.cache_hits} hit(s), "
+                  f"{outcome.cache_misses} miss(es)\n")
+    if args.write_results:
+        for path in fleet.write_result_artifacts(run.context,
+                                                 args.results_dir):
+            out.write(f"wrote {path}\n")
+    if args.write_experiments_md:
+        path = write_experiments_block(
+            run.results, args.experiments_md or default_experiments_md()
+        )
+        out.write(f"rewrote claim matrix in {path}\n")
+    if args.emit_metrics and run.outcome.metrics is not None:
+        document = write_metrics_json(
+            args.emit_metrics, run.outcome.metrics,
+            meta={"command": "validate", "requests": args.requests},
+        )
+        out.write(f"metrics:   {args.emit_metrics} "
+                  f"({len(document['metrics'])} metrics)\n")
+    if not run.passed:
+        out.write("FAILED: " + ", ".join(run.failed_idents()) + "\n")
+        return 1
+    return 0
+
+
+def command_fleet(args, out):
+    from repro.analysis import fleet
+    result = fleet.run_fleet(
+        args.workload,
+        machines=args.machines,
+        monitor=args.monitor,
+        requests=args.requests,
+        buggy=args.buggy,
+        jobs=args.jobs,
+        base_seed=args.seed,
+    )
+    out.write(result.render() + "\n")
+    if args.emit_metrics and result.metrics is not None:
+        document = write_metrics_json(
+            args.emit_metrics, result.metrics,
+            meta={"command": "fleet", "workload": args.workload,
+                  "machines": args.machines, "monitor": args.monitor,
+                  "buggy": args.buggy},
+        )
+        out.write(f"metrics:   {args.emit_metrics} "
+                  f"({len(document['metrics'])} metrics)\n")
+    return 0
+
+
 def command_list(out):
     out.write("workloads (paper Table 1):\n")
     for name, factory in WORKLOADS.items():
@@ -232,10 +375,9 @@ def main(argv=None, out=None):
     elif args.command == "report":
         generate_report(requests=args.requests, stream=out)
     elif args.command == "validate":
-        from repro.analysis.claims import render_validation, validate
-        results = validate(requests=args.requests)
-        out.write(render_validation(results) + "\n")
-        return 0 if all(r.passed for r in results) else 1
+        return command_validate(args, out)
+    elif args.command == "fleet":
+        return command_fleet(args, out)
     elif args.command == "run":
         return command_run(args, out)
     elif args.command == "stats":

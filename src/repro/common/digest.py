@@ -1,0 +1,52 @@
+"""Content digests for the experiment result cache.
+
+The fleet scheduler caches completed experiment results keyed by
+``(job config, code digest)``: if neither the job's parameters nor any
+simulator source file changed, re-running ``repro validate`` reuses the
+cached rows instead of re-simulating.  The code digest covers every
+``*.py`` file under the installed ``repro`` package, so *any* source
+edit -- even a comment -- invalidates the cache; false invalidation is
+cheap, a stale hit is not.
+"""
+
+import hashlib
+import pathlib
+
+_PACKAGE_DIGEST = None
+
+
+def file_digest(path):
+    """Hex SHA-256 of one file's bytes."""
+    return hashlib.sha256(pathlib.Path(path).read_bytes()).hexdigest()
+
+
+def tree_digest(root, pattern="**/*.py"):
+    """Hex SHA-256 over ``pattern`` matches under ``root``.
+
+    Deterministic: files enter the hash in sorted relative-path order,
+    each prefixed by its path, so renames and moves change the digest.
+    """
+    root = pathlib.Path(root)
+    digest = hashlib.sha256()
+    for path in sorted(root.glob(pattern)):
+        if not path.is_file():
+            continue
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def package_digest(refresh=False):
+    """Digest of the live ``repro`` package source (memoized).
+
+    One process sees one consistent code state, so the digest is
+    computed once per process; ``refresh=True`` recomputes (tests).
+    """
+    global _PACKAGE_DIGEST
+    if _PACKAGE_DIGEST is None or refresh:
+        import repro
+        package_root = pathlib.Path(repro.__file__).resolve().parent
+        _PACKAGE_DIGEST = tree_digest(package_root)
+    return _PACKAGE_DIGEST

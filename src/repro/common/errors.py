@@ -60,6 +60,22 @@ class PinLimitExceeded(SyscallError):
     """
 
 
+class FleetError(ReproError):
+    """A sharded experiment fleet could not complete its jobs.
+
+    Carries the per-job failures so the caller can report exactly which
+    experiment shard crashed (one crashed shard fails the whole run --
+    the serial path would have propagated the same exception).
+    """
+
+    def __init__(self, failures):
+        self.failures = dict(failures)
+        detail = "; ".join(f"{ident}: {error}"
+                           for ident, error in sorted(self.failures.items()))
+        super().__init__(f"{len(self.failures)} fleet job(s) failed: "
+                         f"{detail}")
+
+
 class HeapError(ReproError):
     """Base class for allocator misuse detected by the simulated heap."""
 

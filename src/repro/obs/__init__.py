@@ -14,6 +14,7 @@ from repro.obs.export import (
     snapshot_document,
     write_metrics_json,
 )
+from repro.obs.merge import dump_registry, merge_dumps, merge_registries
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -34,6 +35,9 @@ __all__ = [
     "Span",
     "Tracer",
     "attr_reader",
+    "dump_registry",
+    "merge_dumps",
+    "merge_registries",
     "render_metrics_table",
     "render_span_tree",
     "snapshot_document",

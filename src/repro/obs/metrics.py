@@ -101,6 +101,11 @@ class Histogram:
     def max(self):
         return max(self._values) if self._values else 0
 
+    @property
+    def values(self):
+        """A copy of every observation (cross-process merge input)."""
+        return list(self._values)
+
     def percentile(self, p):
         """Nearest-rank percentile (p in [0, 100]); 0 when empty."""
         if not self._values:
@@ -138,6 +143,24 @@ class _Probe:
     @property
     def value(self):
         return self.fn()
+
+
+def flatten_histogram(histogram, values, kinds):
+    """Flatten one histogram into snapshot keys (shared by
+    :meth:`MetricsRegistry.snapshot` and the cross-process merge, so
+    both produce byte-identical key sets)."""
+    name = histogram.name
+    values[f"{name}.count"] = histogram.count
+    values[f"{name}.sum"] = histogram.sum
+    kinds[f"{name}.count"] = "counter"
+    kinds[f"{name}.sum"] = "counter"
+    values[f"{name}.min"] = histogram.min
+    values[f"{name}.max"] = histogram.max
+    kinds[f"{name}.min"] = "gauge"
+    kinds[f"{name}.max"] = "gauge"
+    for p in HISTOGRAM_PERCENTILES:
+        values[f"{name}.p{p}"] = histogram.percentile(p)
+        kinds[f"{name}.p{p}"] = "gauge"
 
 
 class Snapshot:
@@ -290,6 +313,15 @@ class MetricsRegistry:
             return metric.count
         return metric.value
 
+    def instruments(self):
+        """``{name: instrument}`` view (dump/merge machinery)."""
+        return dict(self._metrics)
+
+    @property
+    def current_cycle(self):
+        """The bound clock's cycle count (0 when clockless)."""
+        return self._clock.cycles if self._clock is not None else 0
+
     def __contains__(self, name):
         return name in self._metrics
 
@@ -299,19 +331,8 @@ class MetricsRegistry:
         kinds = {}
         for name, metric in self._metrics.items():
             if isinstance(metric, Histogram):
-                values[f"{name}.count"] = metric.count
-                values[f"{name}.sum"] = metric.sum
-                kinds[f"{name}.count"] = "counter"
-                kinds[f"{name}.sum"] = "counter"
-                values[f"{name}.min"] = metric.min
-                values[f"{name}.max"] = metric.max
-                kinds[f"{name}.min"] = "gauge"
-                kinds[f"{name}.max"] = "gauge"
-                for p in HISTOGRAM_PERCENTILES:
-                    values[f"{name}.p{p}"] = metric.percentile(p)
-                    kinds[f"{name}.p{p}"] = "gauge"
+                flatten_histogram(metric, values, kinds)
             else:
                 values[name] = metric.value
                 kinds[name] = metric.kind
-        cycle = self._clock.cycles if self._clock is not None else 0
-        return Snapshot(cycle, values, kinds)
+        return Snapshot(self.current_cycle, values, kinds)

@@ -4,6 +4,8 @@ import io
 
 import pytest
 
+from repro.analysis import fleet
+from repro.analysis.claims import CLAIMS, ClaimResult
 from repro.cli import build_parser, main
 
 
@@ -72,3 +74,102 @@ class TestCommands:
         assert code == 0
         assert "leak reports:" in output
         assert "ground truth:" in output
+
+
+def _canned_validation(failing_idents=()):
+    """A ValidationRun without running any experiment (CLI-path tests)."""
+    results = [
+        ClaimResult(claim=claim,
+                    passed=claim.ident not in failing_idents,
+                    evidence="canned")
+        for claim in CLAIMS
+    ]
+    outcome = fleet.FleetOutcome(payloads={}, metrics=None,
+                                 cache_hits=0,
+                                 cache_misses=len(CLAIMS))
+    return fleet.ValidationRun(results=results, context={},
+                               outcome=outcome)
+
+
+class TestValidateCommand:
+    def test_parser_accepts_fleet_flags(self):
+        args = build_parser().parse_args(
+            ["validate", "--jobs", "4", "--no-cache",
+             "--cache-dir", "/tmp/c", "--write-results",
+             "--write-experiments-md"])
+        assert args.jobs == 4
+        assert args.no_cache is True
+
+    def test_failing_claim_sets_exit_code_and_names_it(self,
+                                                       monkeypatch):
+        monkeypatch.setattr(
+            fleet, "run_validation",
+            lambda **kwargs: _canned_validation(
+                failing_idents=("T3-band",)))
+        code, output = run_cli("validate", "--no-cache")
+        assert code == 1
+        assert "FAILED: T3-band" in output
+        assert "9/10 claims hold" in output
+
+    def test_all_pass_exits_zero(self, monkeypatch):
+        monkeypatch.setattr(fleet, "run_validation",
+                            lambda **kwargs: _canned_validation())
+        code, output = run_cli("validate", "--no-cache")
+        assert code == 0
+        assert "FAILED" not in output
+
+    def test_cache_stats_line_only_when_caching(self, monkeypatch,
+                                                tmp_path):
+        monkeypatch.setattr(fleet, "run_validation",
+                            lambda **kwargs: _canned_validation())
+        _, cached = run_cli("validate", "--cache-dir", str(tmp_path))
+        _, uncached = run_cli("validate", "--no-cache")
+        assert "cache:" in cached
+        assert "cache:" not in uncached
+
+    def test_write_experiments_md_rewrites_tmp_copy(self, monkeypatch,
+                                                    tmp_path):
+        import pathlib
+        source = pathlib.Path(__file__).resolve().parent.parent / \
+            "EXPERIMENTS.md"
+        target = tmp_path / "EXPERIMENTS.md"
+        target.write_text(source.read_text())
+        monkeypatch.setattr(
+            fleet, "run_validation",
+            lambda **kwargs: _canned_validation(
+                failing_idents=("T5-counts",)))
+        code, output = run_cli("validate", "--no-cache",
+                               "--write-experiments-md",
+                               "--experiments-md", str(target))
+        assert code == 1
+        assert "rewrote claim matrix" in output
+        assert "9/10 claims hold" in target.read_text()
+        assert source.read_text() != target.read_text()
+
+
+class TestFleetCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fleet", "gzip"])
+        assert args.machines == 4
+        assert args.monitor == "safemem"
+        assert args.jobs is None
+
+    def test_fleet_smoke(self):
+        code, output = run_cli("fleet", "gzip", "--machines", "2",
+                               "--monitor", "native", "--requests", "5",
+                               "--jobs", "1")
+        assert code == 0
+        assert "2 machines of gzip" in output
+        assert "fleet totals:" in output
+
+    def test_fleet_emit_metrics(self, tmp_path):
+        import json
+        path = tmp_path / "fleet.json"
+        code, output = run_cli("fleet", "gzip", "--machines", "1",
+                               "--monitor", "native", "--requests", "5",
+                               "--jobs", "1", "--emit-metrics",
+                               str(path))
+        assert code == 0
+        document = json.loads(path.read_text())
+        assert document["schema"] == "repro.metrics/v1"
+        assert document["meta"]["command"] == "fleet"

@@ -1,0 +1,126 @@
+"""Docs-consistency gate (tier-1).
+
+Runs ``tools/docs_check.py`` against the real repo -- ARCHITECTURE.md
+must reference only packages that exist, every subpackage must be
+documented, and every intra-repo markdown link must resolve -- and pins
+the machine-written claim matrix in EXPERIMENTS.md to the code's claim
+list so the two cannot drift.
+"""
+
+import importlib.util
+import pathlib
+
+from repro.analysis.claims import (
+    CLAIMS,
+    ClaimResult,
+    expected_experiments_block,
+    render_experiments_block,
+    write_experiments_block,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _load_docs_check():
+    spec = importlib.util.spec_from_file_location(
+        "docs_check", REPO_ROOT / "tools" / "docs_check.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+docs_check = _load_docs_check()
+
+
+# ----------------------------------------------------------------------
+# the real repo passes
+# ----------------------------------------------------------------------
+def test_repo_docs_are_consistent():
+    problems = docs_check.run_checks()
+    assert problems == [], "\n".join(problems)
+
+
+def test_experiments_md_pins_the_generated_claim_block():
+    """EXPERIMENTS.md's committed matrix == what --write-experiments-md
+    would write for an all-PASS run.  Regenerate with::
+
+        PYTHONPATH=src python -m repro validate --write-experiments-md
+    """
+    text = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+    assert expected_experiments_block() in text
+
+
+# ----------------------------------------------------------------------
+# the checker itself catches drift (negative cases on a tmp repo)
+# ----------------------------------------------------------------------
+def _fake_repo(tmp_path, architecture_text, readme_text="# hi\n"):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "ARCHITECTURE.md").write_text(architecture_text)
+    (tmp_path / "README.md").write_text(readme_text)
+    package = tmp_path / "src" / "repro" / "core"
+    package.mkdir(parents=True)
+    (package / "__init__.py").write_text("")
+    return tmp_path
+
+
+def test_checker_flags_reference_to_deleted_package(tmp_path):
+    root = _fake_repo(tmp_path, "uses repro.core and repro.ghost\n")
+    problems = docs_check.run_checks(root)
+    assert any("repro.ghost" in p for p in problems)
+
+
+def test_checker_flags_undocumented_subpackage(tmp_path):
+    root = _fake_repo(tmp_path, "nothing documented here\n")
+    problems = docs_check.run_checks(root)
+    assert any("src/repro/core" in p for p in problems)
+
+
+def test_checker_flags_broken_markdown_link(tmp_path):
+    root = _fake_repo(
+        tmp_path, "repro.core\n",
+        readme_text="see [gone](docs/MISSING.md) and "
+                    "[ok](docs/ARCHITECTURE.md) and "
+                    "[web](https://example.com) and [anchor](#x)\n")
+    problems = docs_check.run_checks(root)
+    assert problems == [
+        "README.md: broken link -> docs/MISSING.md"
+    ]
+
+
+# ----------------------------------------------------------------------
+# the block renderer
+# ----------------------------------------------------------------------
+def _results(passed=True):
+    return [ClaimResult(claim=claim, passed=passed, evidence="")
+            for claim in CLAIMS]
+
+
+def test_render_block_shows_failures():
+    block = render_experiments_block(_results(passed=False))
+    assert f"0/{len(CLAIMS)} claims hold" in block
+    assert "FAIL" in block and "PASS" not in block
+
+
+def test_write_experiments_block_replaces_in_place(tmp_path):
+    target = tmp_path / "EXPERIMENTS.md"
+    source = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+    target.write_text(source)
+    write_experiments_block(_results(passed=False), target)
+    updated = target.read_text()
+    assert f"0/{len(CLAIMS)} claims hold" in updated
+    # everything outside the markers is untouched
+    assert updated.split("<!-- claim-matrix:begin")[0] == \
+        source.split("<!-- claim-matrix:begin")[0]
+    assert updated.split("claim-matrix:end -->")[-1] == \
+        source.split("claim-matrix:end -->")[-1]
+
+
+def test_write_experiments_block_requires_markers(tmp_path):
+    target = tmp_path / "no-markers.md"
+    target.write_text("no block here\n")
+    try:
+        write_experiments_block(_results(), target)
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("expected ValueError for missing markers")

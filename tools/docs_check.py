@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Docs consistency checker (run in tier-1 via tests/test_docs.py).
+
+Three checks keep the documentation layer from drifting away from the
+code layout:
+
+1. every ``repro.<pkg>`` named in ``docs/ARCHITECTURE.md`` exists as a
+   package or module under ``src/repro`` (no docs for deleted code);
+2. every subpackage under ``src/repro`` is mentioned in
+   ``docs/ARCHITECTURE.md`` (no undocumented subsystem);
+3. every intra-repo markdown link in the repo's ``*.md`` files resolves
+   to an existing file (anchors and external URLs are skipped).
+
+Exit status is non-zero when any check fails, so the script can run as
+a pre-commit hook: ``python tools/docs_check.py``.
+"""
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: markdown files covered by the link check.
+DOC_GLOBS = ("*.md", "docs/*.md")
+
+_PKG_REF = re.compile(r"\brepro\.([a-z_]+)\b")
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def package_references(architecture_text):
+    """Unique ``repro.<pkg>`` names mentioned in ARCHITECTURE.md."""
+    return sorted(set(_PKG_REF.findall(architecture_text)))
+
+
+def source_subpackages(src_root):
+    """Subpackage names under ``src/repro`` (directories with code)."""
+    package = src_root / "repro"
+    return sorted(
+        path.name for path in package.iterdir()
+        if path.is_dir() and (path / "__init__.py").exists()
+    )
+
+
+def check_architecture_references(root=REPO_ROOT):
+    """Checks 1 + 2: ARCHITECTURE.md vs the real package layout."""
+    problems = []
+    architecture = root / "docs" / "ARCHITECTURE.md"
+    text = architecture.read_text()
+    package = root / "src" / "repro"
+    for name in package_references(text):
+        if not ((package / name).is_dir()
+                or (package / f"{name}.py").is_file()):
+            problems.append(
+                f"{architecture.relative_to(root)}: references "
+                f"repro.{name}, which does not exist under src/repro"
+            )
+    for name in source_subpackages(root / "src"):
+        if f"repro.{name}" not in text:
+            problems.append(
+                f"{architecture.relative_to(root)}: src/repro/{name} "
+                f"is not documented (no mention of repro.{name})"
+            )
+    return problems
+
+
+def markdown_files(root=REPO_ROOT):
+    files = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(root.glob(pattern)))
+    return files
+
+
+def intra_repo_links(text):
+    """Link targets that should resolve to files in this repo."""
+    targets = []
+    for target in _MD_LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]
+        if target:
+            targets.append(target)
+    return targets
+
+
+def check_markdown_links(root=REPO_ROOT):
+    """Check 3: every relative markdown link resolves."""
+    problems = []
+    for path in markdown_files(root):
+        for target in intra_repo_links(path.read_text()):
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(root)}: broken link -> {target}"
+                )
+    return problems
+
+
+def run_checks(root=REPO_ROOT):
+    return check_architecture_references(root) + \
+        check_markdown_links(root)
+
+
+def main():
+    problems = run_checks()
+    for problem in problems:
+        print(f"docs-check: {problem}", file=sys.stderr)
+    if problems:
+        print(f"docs-check: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"docs-check: OK ({len(markdown_files())} markdown files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""Micro-benchmark for the live-monitoring stack's hot-path cost.
+
+Sampling is observation-only -- it never advances the simulated clock
+-- so its entire production cost is the real (Python) time spent in the
+clock's timer check and the periodic sample capture.  This benchmark
+measures simulator throughput (real ops/sec) for the unwatched
+fast-path hot loop in two configurations:
+
+- ``sampler_off`` -- a plain machine, no timers registered (the
+  tier-1 default: sampling is off unless started),
+- ``sampler_on``  -- the full production monitoring stack: a
+  :class:`SamplingProfiler` sampling every ``SAMPLE_EVERY`` cycles
+  plus an :class:`AlertEngine` running the default rule set on every
+  sample.
+
+The acceptance bar is that the sampler-enabled hot path stays within
+10% of the fast-path numbers (``ratio >= 0.9``).  Writes
+``BENCH_monitor.json`` at the repo root.  Run directly
+(``python benchmarks/bench_monitor.py``) or through pytest (marked
+``slow``, so the tier-1 run never pays for it).
+"""
+
+import pathlib
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+import pytest
+
+from conftest import write_bench_json
+
+from repro.common.constants import CACHE_LINE_SIZE, PAGE_SIZE
+from repro.machine.machine import Machine
+from repro.obs.alerts import AlertEngine, default_rules
+from repro.obs.sampler import SamplingProfiler
+
+pytestmark = pytest.mark.slow
+
+BASE = 0x4000_0000
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_monitor.json"
+
+#: operations per timed phase.
+HOT_OPS = 40_000
+
+#: sampling interval under test (the `repro monitor` default order of
+#: magnitude; small enough that the timed loop takes many samples).
+SAMPLE_EVERY = 50_000
+
+
+def _make_machine():
+    machine = Machine(dram_size=8 * 1024 * 1024)
+    machine.kernel.mmap(BASE, 64 * PAGE_SIZE)
+    return machine
+
+
+def _attach_monitoring(machine):
+    sampler = SamplingProfiler(machine, interval_cycles=SAMPLE_EVERY)
+    engine = AlertEngine(default_rules(), events=machine.events,
+                         metrics=machine.metrics)
+    sampler.add_listener(engine.evaluate)
+    sampler.start()
+    return sampler
+
+
+def _time(fn):
+    start = time.perf_counter()
+    ops = fn()
+    return ops / (time.perf_counter() - start)
+
+
+def _bench_hot_loads(machine):
+    addresses = [BASE + i * CACHE_LINE_SIZE for i in range(16)]
+    for address in addresses:
+        machine.store(address, bytes(8))
+
+    def run():
+        load = machine.load
+        for i in range(HOT_OPS):
+            load(addresses[i & 15], 8)
+        return HOT_OPS
+
+    return _time(run)
+
+
+def _bench_hot_stores(machine):
+    addresses = [BASE + i * CACHE_LINE_SIZE for i in range(16)]
+    for address in addresses:
+        machine.store(address, bytes(8))
+    payload = b"\xa5" * 8
+
+    def run():
+        store = machine.store
+        for i in range(HOT_OPS):
+            store(addresses[i & 15], payload)
+        return HOT_OPS
+
+    return _time(run)
+
+
+def run_benchmark():
+    off = _make_machine()
+    off_loads = _bench_hot_loads(off)
+    off_stores = _bench_hot_stores(off)
+
+    on = _make_machine()
+    sampler = _attach_monitoring(on)
+    on_loads = _bench_hot_loads(on)
+    on_stores = _bench_hot_stores(on)
+    sampler.stop()
+
+    report = {
+        "benchmark": "monitor",
+        "hot_ops": HOT_OPS,
+        "sample_every": SAMPLE_EVERY,
+        "samples_taken": sampler.samples_taken,
+        "configs": {
+            "sampler_off": {
+                "hot_loads_ops_per_sec": off_loads,
+                "hot_stores_ops_per_sec": off_stores,
+            },
+            "sampler_on": {
+                "hot_loads_ops_per_sec": on_loads,
+                "hot_stores_ops_per_sec": on_stores,
+            },
+        },
+        "sampler_ratio_loads": on_loads / off_loads,
+        "sampler_ratio_stores": on_stores / off_stores,
+    }
+    write_bench_json("monitor", report)
+    return report
+
+
+def test_bench_monitor():
+    report = run_benchmark()
+    # The run must actually have sampled -- a zero-sample run would
+    # "pass" by measuring nothing.
+    assert report["samples_taken"] > 0
+    assert report["sampler_ratio_loads"] >= 0.9
+    assert report["sampler_ratio_stores"] >= 0.9
+
+
+def main():
+    report = run_benchmark()
+    off = report["configs"]["sampler_off"]
+    on = report["configs"]["sampler_on"]
+    print(f"wrote {RESULT_PATH}")
+    for phase in ("hot_loads", "hot_stores"):
+        key = f"{phase}_ops_per_sec"
+        print(
+            f"{phase:>10}: sampler off {off[key]:>10.0f} ops/s | "
+            f"on {on[key]:>10.0f} ops/s"
+        )
+    print(
+        f"sampler-on ratio: loads "
+        f"{report['sampler_ratio_loads']:.3f}, stores "
+        f"{report['sampler_ratio_stores']:.3f} "
+        f"({report['samples_taken']} samples)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -55,7 +55,10 @@ from repro.analysis.experiments import (
     table5_row,
 )
 from repro.analysis.runner import (
+    CACHE_SIZE,
+    DRAM_SIZE,
     add_run_tap,
+    make_monitor,
     overhead_percent,
     remove_run_tap,
     run_workload,
@@ -99,11 +102,40 @@ class _JobKind:
 
 
 def _run_fleet_machine(params):
-    """One fleet machine: run the workload, summarize the outcome."""
-    result = run_workload(
-        params["workload"], params["monitor"], buggy=params["buggy"],
-        requests=params["requests"], seed=params["seed"],
-    )
+    """One fleet machine: run the workload, summarize the outcome.
+
+    With ``sample_every`` set, the machine also runs the production
+    monitoring stack -- a :class:`~repro.obs.sampler.SamplingProfiler`
+    plus an :class:`~repro.obs.alerts.AlertEngine` -- so the run tap's
+    registry dump carries ``sampler.*``/``alerts.*`` metrics into the
+    fleet merge (counters sum, giving fleet-wide alert totals).
+    """
+    sample_every = params.get("sample_every")
+    machine = monitor = sampler = engine = None
+    if sample_every:
+        from repro.machine.machine import Machine
+        from repro.obs.alerts import AlertEngine, resolve_rules
+        from repro.obs.sampler import SamplingProfiler, leak_group_source
+        machine = Machine(dram_size=DRAM_SIZE, cache_size=CACHE_SIZE,
+                          cache_ways=16)
+        monitor = make_monitor(params["monitor"])
+        sampler = SamplingProfiler(machine, interval_cycles=sample_every,
+                                   group_source=leak_group_source(monitor))
+        engine = AlertEngine(
+            resolve_rules(params.get("rules", "default")),
+            events=machine.events, metrics=machine.metrics,
+        )
+        sampler.add_listener(engine.evaluate)
+        sampler.start()
+    try:
+        result = run_workload(
+            params["workload"], params["monitor"], buggy=params["buggy"],
+            requests=params["requests"], seed=params["seed"],
+            machine=machine, monitor=monitor,
+        )
+    finally:
+        if sampler is not None:
+            sampler.stop()
     truth = result.truth
     overhead = None
     if params["monitor"] != "native" and truth.detection is None:
@@ -113,6 +145,12 @@ def _run_fleet_machine(params):
         )
         overhead = overhead_percent(result.cycles, native.cycles)
     monitor = result.monitor
+    alerts_fired = alerts_resolved = 0
+    if engine is not None:
+        summary = engine.summary()
+        alerts_fired = sum(fired for fired, _, _ in summary.values())
+        alerts_resolved = sum(resolved
+                              for _, resolved, _ in summary.values())
     return MachineReport(
         index=params["index"],
         seed=params["seed"],
@@ -125,6 +163,8 @@ def _run_fleet_machine(params):
         corruption_reports=len(
             getattr(monitor, "corruption_reports", ()) or ()),
         overhead_pct=overhead,
+        alerts_fired=alerts_fired,
+        alerts_resolved=alerts_resolved,
     )
 
 
@@ -457,6 +497,9 @@ class MachineReport:
     leak_reports: int
     corruption_reports: int
     overhead_pct: object
+    #: alert-engine totals; 0 unless the fleet ran with sampling on.
+    alerts_fired: int = 0
+    alerts_resolved: int = 0
 
 
 @dataclass
@@ -483,6 +526,20 @@ class FleetResult:
     @property
     def total_corruption_reports(self):
         return sum(report.corruption_reports for report in self.reports)
+
+    @property
+    def total_alerts_fired(self):
+        return sum(report.alerts_fired for report in self.reports)
+
+    @property
+    def total_alerts_resolved(self):
+        return sum(report.alerts_resolved for report in self.reports)
+
+    @property
+    def sampled(self):
+        """True when the fleet ran with the monitoring stack enabled."""
+        return self.metrics is not None and \
+            "sampler.samples" in self.metrics.values
 
     def overhead_distribution(self):
         """(min, median, max) overhead across machines, or None."""
@@ -512,6 +569,10 @@ class FleetResult:
         note = (f"fleet totals: {self.total_faults} ECC faults, "
                 f"{self.total_leak_reports} leak reports, "
                 f"{self.total_corruption_reports} corruption reports")
+        if self.sampled:
+            note += (f"; {self.metrics.get('sampler.samples', 0)} "
+                     f"samples, {self.total_alerts_fired} alerts fired "
+                     f"/ {self.total_alerts_resolved} resolved")
         if distribution is not None:
             low, median, high = distribution
             note += (f"; overhead min/median/max "
@@ -529,13 +590,18 @@ class FleetResult:
 
 
 def run_fleet(workload, machines=4, monitor="safemem", requests=None,
-              buggy=False, jobs=None, base_seed=0):
+              buggy=False, jobs=None, base_seed=0, sample_every=None,
+              rules="default"):
     """Run ``machines`` simulated machines of one workload concurrently.
 
     Each machine gets its own seed (``base_seed + index``) so the fleet
     sees naturally varied traffic, and its telemetry merges into one
     fleet snapshot -- total faults, total reports, and an overhead
-    distribution instead of a single anecdote.
+    distribution instead of a single anecdote.  ``sample_every`` turns
+    on the production monitoring stack (sampler + alert engine, with
+    ``rules``) on every machine; per-machine alert summaries land in
+    the :class:`MachineReport` rows and the merged ``alerts.*``
+    counters give fleet-wide totals.
     """
     if machines < 1:
         raise ConfigurationError(
@@ -544,7 +610,7 @@ def run_fleet(workload, machines=4, monitor="safemem", requests=None,
         ("fleet-machine", f"fleet:{workload}:{index}",
          {"workload": workload, "monitor": monitor, "buggy": buggy,
           "requests": requests, "seed": base_seed + index,
-          "index": index})
+          "index": index, "sample_every": sample_every, "rules": rules})
         for index in range(machines)
     ]
     outcome = run_jobs(specs, jobs=jobs, cache=None)

@@ -10,7 +10,12 @@ Commands:
   a content-keyed result cache makes no-op re-runs near-instant
   (``--no-cache`` forces recomputation) -- see ``docs/VALIDATION.md``;
 - ``fleet``   runs M concurrent simulated machines of one workload and
-  aggregates their telemetry across the fleet;
+  aggregates their telemetry across the fleet (``--sample-every`` adds
+  the sampling profiler + alert engine to every machine);
+- ``monitor`` runs one workload under live production monitoring: a
+  cycle-driven sampling profiler, declarative alert rules, a periodic
+  top-style panel, and an optional rotating ``repro.events/v1`` JSONL
+  stream (``--stream``);
 - ``run``     runs one workload under one monitor and prints a summary;
 - ``stats``   runs one workload and prints its metrics snapshot;
 - ``list``    shows the available workloads and monitors.
@@ -134,9 +139,63 @@ def build_parser():
         help="worker processes (default: one per CPU)",
     )
     fleet_parser.add_argument(
+        "--sample-every", type=int, default=None, metavar="CYCLES",
+        help="run the sampling profiler + alert engine on every "
+             "machine and aggregate alert totals across the fleet",
+    )
+    fleet_parser.add_argument(
+        "--rules", default="default", metavar="default|none|FILE",
+        help="alert rules for --sample-every (default: the built-in "
+             "production set)",
+    )
+    fleet_parser.add_argument(
         "--emit-metrics", metavar="PATH", default=None,
         help="write the merged fleet telemetry as repro.metrics/v1 "
              "JSON",
+    )
+
+    monitor_parser = sub.add_parser(
+        "monitor",
+        help="run one workload under live production monitoring "
+             "(sampling profiler + alerts + streaming)",
+    )
+    monitor_parser.add_argument("workload", choices=all_workload_names())
+    monitor_parser.add_argument(
+        "--monitor", default="safemem",
+        choices=sorted(MONITOR_FACTORIES),
+    )
+    monitor_parser.add_argument("--buggy", action="store_true",
+                                help="use the bug-triggering input")
+    monitor_parser.add_argument("--requests", type=int, default=None)
+    monitor_parser.add_argument("--seed", type=int, default=0)
+    monitor_parser.add_argument(
+        "--sample-every", type=int, default=100_000, metavar="CYCLES",
+        help="sampling interval in CPU cycles (default 100000)",
+    )
+    monitor_parser.add_argument(
+        "--report-every", type=int, default=0, metavar="N",
+        help="print a live top-style panel every N samples "
+             "(default: final panel only)",
+    )
+    monitor_parser.add_argument(
+        "--top", type=int, default=5,
+        help="allocation groups shown per panel (default 5)",
+    )
+    monitor_parser.add_argument(
+        "--rules", default="default", metavar="default|none|FILE",
+        help="alert rules: the built-in set, none, or a JSON rule file",
+    )
+    monitor_parser.add_argument(
+        "--stream", metavar="PATH", default=None,
+        help="stream repro.events/v1 records to a rotating JSONL file",
+    )
+    monitor_parser.add_argument(
+        "--stream-max-bytes", type=int, default=None,
+        help="rotation threshold for --stream (default 1 MiB)",
+    )
+    monitor_parser.add_argument(
+        "--emit-metrics", metavar="PATH", default=None,
+        help="write the run's metrics as repro.metrics/v1 JSON",
     )
 
     run_parser = sub.add_parser(
@@ -333,6 +392,8 @@ def command_fleet(args, out):
         buggy=args.buggy,
         jobs=args.jobs,
         base_seed=args.seed,
+        sample_every=args.sample_every,
+        rules=args.rules,
     )
     out.write(result.render() + "\n")
     if args.emit_metrics and result.metrics is not None:
@@ -344,6 +405,82 @@ def command_fleet(args, out):
         )
         out.write(f"metrics:   {args.emit_metrics} "
                   f"({len(document['metrics'])} metrics)\n")
+    return 0
+
+
+def command_monitor(args, out):
+    from repro.analysis.runner import CACHE_SIZE, DRAM_SIZE, make_monitor
+    from repro.machine.machine import Machine
+    from repro.obs.alerts import AlertEngine, resolve_rules
+    from repro.obs.sampler import (
+        SamplingProfiler,
+        leak_group_source,
+        render_top,
+    )
+    from repro.obs.sink import DEFAULT_MAX_BYTES, JsonlSink, TelemetryStream
+
+    machine = Machine(dram_size=DRAM_SIZE, cache_size=CACHE_SIZE,
+                      cache_ways=16)
+    monitor = make_monitor(args.monitor)
+    sampler = SamplingProfiler(machine, interval_cycles=args.sample_every,
+                               group_source=leak_group_source(monitor))
+    engine = AlertEngine(resolve_rules(args.rules), events=machine.events,
+                         metrics=machine.metrics)
+    sampler.add_listener(engine.evaluate)
+    if args.report_every:
+        def live_panel(sample):
+            if sample.index % args.report_every == 0:
+                out.write(render_top(sample, alerts=engine.firing(),
+                                     top=args.top) + "\n\n")
+        sampler.add_listener(live_panel)
+    stream = sink = None
+    if args.stream:
+        sink = JsonlSink(args.stream,
+                         max_bytes=args.stream_max_bytes
+                         or DEFAULT_MAX_BYTES)
+        stream = TelemetryStream(sink, machine=machine, sampler=sampler,
+                                 engine=engine)
+        stream.mark(machine.clock.cycles, marker="start",
+                    workload=args.workload, monitor=args.monitor,
+                    buggy=args.buggy, seed=args.seed,
+                    sample_every=args.sample_every, rules=args.rules)
+    sampler.start()
+    try:
+        result = run_workload(args.workload, args.monitor,
+                              buggy=args.buggy, requests=args.requests,
+                              seed=args.seed, machine=machine,
+                              monitor=monitor)
+    finally:
+        sampler.stop()
+    final = sampler.sample_now()
+    out.write(render_top(final, alerts=engine.firing(), top=args.top,
+                         title=f"final: {args.workload}/{args.monitor}")
+              + "\n")
+    out.write(f"requests:  {result.truth.requests_completed}"
+              f"/{result.requests}\n")
+    out.write(f"samples:   {sampler.samples_taken} "
+              f"({sampler.samples_evicted} evicted from the ring)\n")
+    summary = engine.summary()
+    fired_total = sum(fired for fired, _, _ in summary.values())
+    if summary:
+        out.write("alerts:\n")
+        for name, (fired, resolved, state) in summary.items():
+            out.write(f"  {name:<26} fired {fired}  "
+                      f"resolved {resolved}  state {state}\n")
+    if result.truth.detection is not None:
+        out.write(f"stopped at detection: "
+                  f"{result.truth.detection.report}\n")
+    if stream is not None:
+        stream.mark(machine.clock.cycles, marker="finish",
+                    samples=sampler.samples_taken,
+                    alerts_fired=fired_total)
+        stream.close()
+        out.write(f"stream:    {sink.records_written} records, "
+                  f"{sink.rotations} rotation(s) -> "
+                  + ", ".join(str(path) for path in sink.paths())
+                  + "\n")
+    if args.emit_metrics:
+        _emit_metrics(args.emit_metrics, result, out)
     return 0
 
 
@@ -378,6 +515,8 @@ def main(argv=None, out=None):
         return command_validate(args, out)
     elif args.command == "fleet":
         return command_fleet(args, out)
+    elif args.command == "monitor":
+        return command_monitor(args, out)
     elif args.command == "run":
         return command_run(args, out)
     elif args.command == "stats":

@@ -10,9 +10,35 @@ simulated machine therefore keeps two counters:
 - ``idle_cycles``: wall-clock time that passed while the program was
   blocked (between server requests, waiting for IO, ...), which must
   NOT count toward object lifetimes.
+
+The clock also hosts **periodic timers** (:meth:`VirtualClock.every`):
+the continuous-monitoring layer (``repro.obs.sampler``) registers its
+sampling cadence here so samples are driven by simulated CPU time, not
+by wall time.  Timers are off the hot path when none are registered --
+``tick`` pays one attribute comparison -- and fire on *busy* cycles
+only, matching how lifetimes and overhead are accounted.
 """
 
 from repro.common.constants import CYCLES_PER_MICROSECOND, CYCLES_PER_SECOND
+
+
+class ClockTimer:
+    """One periodic callback registered with :meth:`VirtualClock.every`."""
+
+    __slots__ = ("interval", "next_fire", "callback", "cancelled",
+                 "fired")
+
+    def __init__(self, interval, next_fire, callback):
+        self.interval = interval
+        self.next_fire = next_fire
+        self.callback = callback
+        self.cancelled = False
+        self.fired = 0
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else \
+            f"next@{self.next_fire}"
+        return f"ClockTimer(every {self.interval} cycles, {state})"
 
 
 class VirtualClock:
@@ -21,6 +47,11 @@ class VirtualClock:
     def __init__(self):
         self.cycles = 0
         self.idle_cycles = 0
+        self._timers = []
+        #: earliest pending deadline, or None with no timers -- the one
+        #: value ``tick`` checks, so an idle clock stays cheap.
+        self._next_fire = None
+        self._firing = False
 
     # ------------------------------------------------------------------
     # advancing time
@@ -30,12 +61,73 @@ class VirtualClock:
         if cycles < 0:
             raise ValueError(f"cannot tick a negative amount: {cycles}")
         self.cycles += cycles
+        if self._next_fire is not None and self.cycles >= self._next_fire:
+            self._fire_due_timers()
 
     def idle(self, cycles):
         """Let ``cycles`` of wall-clock time pass without CPU work."""
         if cycles < 0:
             raise ValueError(f"cannot idle a negative amount: {cycles}")
         self.idle_cycles += cycles
+
+    # ------------------------------------------------------------------
+    # periodic timers
+    # ------------------------------------------------------------------
+    def every(self, interval_cycles, callback):
+        """Call ``callback(clock)`` whenever ``interval_cycles`` of CPU
+        time have passed; returns a :class:`ClockTimer` for
+        :meth:`cancel`.
+
+        One large ``tick`` that crosses several deadlines fires the
+        timer **once** and reschedules relative to the current cycle --
+        ticks are atomic blocks of simulated work, so there is no
+        mid-block instant at which a catch-up firing could observe
+        anything different.
+        """
+        if interval_cycles <= 0:
+            raise ValueError(
+                f"timer interval must be positive: {interval_cycles}"
+            )
+        timer = ClockTimer(interval_cycles,
+                           self.cycles + interval_cycles, callback)
+        self._timers.append(timer)
+        self._reschedule()
+        return timer
+
+    def cancel(self, timer):
+        """Cancel a timer returned by :meth:`every` (idempotent)."""
+        timer.cancelled = True
+        if timer in self._timers:
+            self._timers.remove(timer)
+        self._reschedule()
+
+    @property
+    def timer_count(self):
+        """Live timers on this clock (0 on a freshly booted machine)."""
+        return len(self._timers)
+
+    def _reschedule(self):
+        self._next_fire = min(
+            (timer.next_fire for timer in self._timers), default=None
+        )
+
+    def _fire_due_timers(self):
+        # A callback may tick the clock itself (charging modelled
+        # monitoring cost); the guard keeps that from recursing into
+        # another timer pass mid-delivery.
+        if self._firing:
+            return
+        self._firing = True
+        try:
+            for timer in list(self._timers):
+                if timer.cancelled or self.cycles < timer.next_fire:
+                    continue
+                timer.next_fire = self.cycles + timer.interval
+                timer.fired += 1
+                timer.callback(self)
+        finally:
+            self._firing = False
+            self._reschedule()
 
     # ------------------------------------------------------------------
     # reading time

@@ -42,6 +42,7 @@ class EventKind(Enum):
     CORRUPTION_REPORT = "corruption_report"
     PANIC = "panic"
     SYSCALL = "syscall"
+    ALERT = "alert"
 
 
 @dataclass

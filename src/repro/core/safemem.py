@@ -255,7 +255,9 @@ class SafeMem(Monitor):
         """
         warnings.warn(
             "SafeMem.statistics() is deprecated; use SafeMem.telemetry() "
-            "(see docs/OBSERVABILITY.md)",
+            "and read the safemem.* names instead (see "
+            "docs/OBSERVABILITY.md#metric-namespace, and "
+            "STATISTICS_METRICS for the key-to-metric mapping)",
             DeprecationWarning,
             stacklevel=2,
         )

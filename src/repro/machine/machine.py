@@ -160,8 +160,10 @@ class Machine:
         :data:`PERF_COUNTER_METRICS`).
         """
         warnings.warn(
-            "Machine.perf_counters() is deprecated; read named metrics "
-            "from Machine.metrics (see docs/OBSERVABILITY.md)",
+            "Machine.perf_counters() is deprecated; use the registry "
+            "snapshot Machine.metrics.snapshot() instead (see "
+            "docs/OBSERVABILITY.md#reading-metrics, and "
+            "PERF_COUNTER_METRICS for the key-to-metric mapping)",
             DeprecationWarning,
             stacklevel=2,
         )

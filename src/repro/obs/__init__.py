@@ -1,12 +1,23 @@
-"""Unified telemetry: metrics registry, trace spans, exporters.
+"""Unified telemetry: metrics, spans, sampling, alerts, streaming.
 
 The one observability layer of the simulated machine.  Components
 register named metrics in the machine's :class:`MetricsRegistry`;
 phases are timed with :class:`Tracer` spans on the simulated clock;
 everything is read via cycle-stamped snapshots and exported through
-the stable ``repro.metrics/v1`` schema (see ``docs/OBSERVABILITY.md``).
+the stable ``repro.metrics/v1`` schema.  On top of that sits the
+continuous-monitoring layer: a :class:`SamplingProfiler` driven by the
+simulated clock, an :class:`AlertEngine` evaluating declarative rules
+on every sample, and streaming sinks shipping ``repro.events/v1``
+records (see ``docs/OBSERVABILITY.md``).
 """
 
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertRule,
+    default_rules,
+    load_rules,
+    resolve_rules,
+)
 from repro.obs.export import (
     SCHEMA,
     render_metrics_table,
@@ -23,23 +34,42 @@ from repro.obs.metrics import (
     Snapshot,
     attr_reader,
 )
+from repro.obs.sampler import Sample, SamplingProfiler, render_top
+from repro.obs.sink import (
+    EVENTS_SCHEMA,
+    JsonlSink,
+    MemorySink,
+    TelemetryStream,
+)
 from repro.obs.trace import Span, Tracer
 
 __all__ = [
+    "EVENTS_SCHEMA",
     "SCHEMA",
+    "AlertEngine",
+    "AlertRule",
     "Counter",
     "Gauge",
     "Histogram",
+    "JsonlSink",
+    "MemorySink",
     "MetricsRegistry",
+    "Sample",
+    "SamplingProfiler",
     "Snapshot",
     "Span",
+    "TelemetryStream",
     "Tracer",
     "attr_reader",
+    "default_rules",
     "dump_registry",
+    "load_rules",
     "merge_dumps",
     "merge_registries",
     "render_metrics_table",
     "render_span_tree",
+    "render_top",
+    "resolve_rules",
     "snapshot_document",
     "write_metrics_json",
 ]

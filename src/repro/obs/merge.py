@@ -91,6 +91,12 @@ def merge_dumps(dumps):
         for name, series in dump["histograms"].items():
             observations.setdefault(name, []).extend(series)
     for name in sorted(observations):
+        # Empty and single-observation unions are legitimate: a worker
+        # registers a histogram (so the name must survive the merge
+        # with its full flattened key set) but may observe nothing, or
+        # exactly one value.  Pre-sorting keeps the percentile pass
+        # from re-sorting inside flatten_histogram; an empty union
+        # flattens to all-zero keys rather than being dropped.
         merged = Histogram(name)
         for value in sorted(observations[name]):
             merged.observe(value)

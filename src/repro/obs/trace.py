@@ -129,6 +129,10 @@ class Tracer:
         """The innermost open span, or ``None``."""
         return self._stack[-1] if self._stack else None
 
+    def active_spans(self):
+        """Open spans, outermost first (the sampler's stack view)."""
+        return list(self._stack)
+
     # ------------------------------------------------------------------
     # flight recorder
     # ------------------------------------------------------------------

@@ -173,3 +173,93 @@ class TestFleetCommand:
         document = json.loads(path.read_text())
         assert document["schema"] == "repro.metrics/v1"
         assert document["meta"]["command"] == "fleet"
+
+
+class TestMonitorCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["monitor", "gzip"])
+        assert args.sample_every == 100_000
+        assert args.rules == "default"
+        assert args.stream is None
+        assert args.report_every == 0
+
+    def test_monitor_smoke(self):
+        code, output = run_cli("monitor", "gzip", "--sample-every",
+                               "50000", "--requests", "10")
+        assert code == 0
+        assert "final: gzip/safemem" in output
+        assert "samples:" in output
+        assert "alerts:" in output
+        assert "leak-suspect-growth" in output
+
+    def test_monitor_streams_conformant_jsonl(self, tmp_path):
+        from repro.obs.sink import EVENTS_SCHEMA, read_jsonl
+        path = tmp_path / "monitor.jsonl"
+        code, output = run_cli("monitor", "gzip", "--sample-every",
+                               "50000", "--requests", "10",
+                               "--stream", str(path))
+        assert code == 0
+        assert "stream:" in output
+        records = read_jsonl(path)
+        assert records, "stream produced no records"
+        for record in records:
+            assert record["schema"] == EVENTS_SCHEMA
+            assert {"schema", "type", "cycle"} <= set(record)
+        types = {record["type"] for record in records}
+        assert "run" in types      # start/finish markers
+        assert "sample" in types   # periodic profiler samples
+        markers = [r["run"]["marker"] for r in records
+                   if r["type"] == "run"]
+        assert markers == ["start", "finish"]
+
+    def test_monitor_stream_rotates(self, tmp_path):
+        path = tmp_path / "monitor.jsonl"
+        code, output = run_cli("monitor", "gzip", "--sample-every",
+                               "20000", "--requests", "10",
+                               "--stream", str(path),
+                               "--stream-max-bytes", "4096")
+        assert code == 0
+        assert (tmp_path / "monitor.jsonl.1").exists()
+
+    def test_monitor_live_report(self):
+        code, output = run_cli("monitor", "gzip", "--sample-every",
+                               "50000", "--requests", "10",
+                               "--report-every", "5")
+        assert code == 0
+        assert "live monitor @ cycle" in output
+
+    def test_monitor_rules_none(self):
+        code, output = run_cli("monitor", "gzip", "--sample-every",
+                               "50000", "--requests", "5",
+                               "--rules", "none")
+        assert code == 0
+        assert "alerts:" not in output
+
+
+class TestFleetSampling:
+    def test_parser_accepts_sampling_flags(self):
+        args = build_parser().parse_args(
+            ["fleet", "gzip", "--sample-every", "50000",
+             "--rules", "none"])
+        assert args.sample_every == 50_000
+        assert args.rules == "none"
+
+    def test_fleet_aggregates_alert_telemetry(self):
+        result = fleet.run_fleet("gzip", machines=2, monitor="safemem",
+                                 requests=5, jobs=1,
+                                 sample_every=50_000)
+        assert result.sampled
+        assert result.metrics.get("sampler.samples") > 0
+        # two machines' engines merged: 4 default rules each.
+        assert result.metrics.get("alerts.evaluations") > 0
+        for report in result.reports:
+            assert report.alerts_fired >= 0
+        rendered = result.render()
+        assert "samples" in rendered
+        assert "alerts fired" in rendered
+
+    def test_fleet_without_sampling_stays_quiet(self):
+        result = fleet.run_fleet("gzip", machines=1, monitor="native",
+                                 requests=5, jobs=1)
+        assert not result.sampled
+        assert "alerts fired" not in result.render()

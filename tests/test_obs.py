@@ -280,6 +280,56 @@ class TestEventLog:
         with pytest.warns(DeprecationWarning):
             assert len(list(log)) == 1
 
+    def test_mid_run_subscriber_sees_only_subsequent_events(self):
+        # A consumer that subscribes mid-run (e.g. a telemetry stream
+        # attached to a warm machine) must not receive history -- the
+        # query path is how history is read.
+        clock, log = self._log()
+        log.emit(EventKind.WATCH, address=0x40)
+        clock.tick(100)
+        seen = []
+        log.subscribe(seen.append, kind=EventKind.WATCH)
+        log.emit(EventKind.WATCH, address=0x80)
+        assert [e.address for e in seen] == [0x80]
+        # while a query from the same consumer still covers the past...
+        assert [e.address for e in log.query(kind=EventKind.WATCH)] == \
+            [0x40, 0x80]
+        # ...and the subscription keeps delivering after the query.
+        log.emit(EventKind.WATCH, address=0xC0)
+        assert [e.address for e in seen] == [0x80, 0xC0]
+
+    def test_since_cycle_with_limit_keeps_newest_in_order(self):
+        # limit truncates from the *front* (oldest dropped), and the
+        # result stays oldest-first -- pinned because the monitor CLI
+        # and flight-recorder views rely on both properties.
+        clock, log = self._log()
+        for index in range(6):
+            log.emit(EventKind.WATCH, address=index)
+            clock.tick(10)
+        events = log.query(kind=EventKind.WATCH, since_cycle=20,
+                           limit=2)
+        assert [e.address for e in events] == [4, 5]
+        assert [e.cycle for e in events] == sorted(
+            e.cycle for e in events)
+
+    def test_emit_during_dispatch_reaches_later_subscribers(self):
+        # A subscriber that emits (the alert engine publishing through
+        # the event log) must not corrupt delivery of the original
+        # event.
+        _clock, log = self._log()
+        seen = []
+
+        def reactor(event):
+            if event.kind is EventKind.WATCH:
+                log.emit(EventKind.ALERT, rule="r")
+
+        log.subscribe(reactor)
+        log.subscribe(lambda e: seen.append(e.kind))
+        log.emit(EventKind.WATCH)
+        assert EventKind.WATCH in seen
+        assert EventKind.ALERT in seen
+        assert log.count(EventKind.ALERT) == 1
+
 
 class TestDeprecationShims:
     def test_perf_counters_warns_and_matches_registry(self):
@@ -415,3 +465,55 @@ class TestExporters:
         assert document["schema"] == SCHEMA
         assert document["metrics"]["machine.load.slow"] > 0
         assert document["generated"]["since_cycle"] == 0
+
+
+class TestMergeHistogramEdgeCases:
+    """Fleet merges of empty / single-observation histograms.
+
+    A worker that registers a histogram but observes nothing (or
+    exactly once) is the normal state of a short or idle machine; the
+    merged snapshot must keep the name with its full flattened key set
+    instead of dropping it or crashing the percentile pass.
+    """
+
+    def _dump(self, observe=()):
+        from repro.obs.merge import dump_registry
+        registry = MetricsRegistry()
+        histogram = registry.histogram("span.op.cycles")
+        for value in observe:
+            histogram.observe(value)
+        return dump_registry(registry)
+
+    def test_empty_histogram_survives_merge_with_zero_keys(self):
+        from repro.obs.merge import merge_dumps
+        merged = merge_dumps([self._dump(), self._dump()])
+        for suffix in ("count", "sum", "min", "max", "p50", "p90",
+                       "p99"):
+            assert merged[f"span.op.cycles.{suffix}"] == 0, suffix
+
+    def test_single_observation_union(self):
+        from repro.obs.merge import merge_dumps
+        merged = merge_dumps([self._dump(), self._dump(observe=[7])])
+        assert merged["span.op.cycles.count"] == 1
+        assert merged["span.op.cycles.sum"] == 7
+        assert merged["span.op.cycles.min"] == 7
+        assert merged["span.op.cycles.max"] == 7
+        assert merged["span.op.cycles.p99"] == 7
+
+    def test_empty_dump_list_is_an_empty_snapshot(self):
+        from repro.obs.merge import merge_dumps
+        merged = merge_dumps([])
+        assert merged.cycle == 0
+        assert merged.values == {}
+
+    def test_mixed_empty_and_populated_workers(self):
+        from repro.obs.merge import merge_dumps
+        merged = merge_dumps([
+            self._dump(),
+            self._dump(observe=[10, 20, 30]),
+            self._dump(observe=[40]),
+        ])
+        assert merged["span.op.cycles.count"] == 4
+        assert merged["span.op.cycles.sum"] == 100
+        assert merged["span.op.cycles.min"] == 10
+        assert merged["span.op.cycles.max"] == 40

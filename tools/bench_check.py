@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Benchmark regression checker: fresh BENCH_*.json vs committed baseline.
+
+Every ``benchmarks/bench_*.py`` module writes a machine-readable report
+to ``BENCH_<name>.json`` at the repo root, and that file is committed.
+This tool compares a freshly generated report against the committed
+baseline (``git show HEAD:BENCH_<name>.json``) and flags regressions:
+
+- only **throughput-like** keys are compared -- names ending in
+  ``_ops_per_sec`` or containing ``speedup``/``ratio``, where higher is
+  better.  Raw ``*_seconds`` wall-clock values and embedded
+  ``repro.metrics/v1`` documents are skipped: the former is
+  machine-load noise, the latter is deterministic simulation state that
+  the benchmarks assert on directly;
+- a key regresses when ``fresh < baseline * (1 - tolerance)``.  The
+  default tolerance is 0.25 (25%), deliberately generous because the
+  numbers are wall-clock measurements on shared hardware; override it
+  with ``REPRO_BENCH_TOLERANCE`` or ``--tolerance``;
+- a missing baseline (file untracked, or no git history) is not an
+  error -- there is nothing to regress against.
+
+Wiring: ``benchmarks/conftest.py`` calls :func:`check_report` from
+``write_bench_json``, so every benchmark run prints its comparison; set
+``REPRO_BENCH_STRICT=1`` to turn a regression into a benchmark
+failure.  Standalone, ``python tools/bench_check.py`` checks every
+``BENCH_*.json`` on disk and exits non-zero on any regression (see
+docs/VALIDATION.md).
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+from dataclasses import dataclass
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: default relative drop tolerated before a key counts as regressed.
+DEFAULT_TOLERANCE = 0.25
+
+#: key name shapes compared (higher is better).
+THROUGHPUT_SUFFIXES = ("_ops_per_sec",)
+THROUGHPUT_SUBSTRINGS = ("speedup", "ratio")
+
+#: subtree keys skipped entirely (embedded metrics documents).
+SKIP_SUBTREES = ("metrics",)
+
+
+def tolerance_from_env(default=DEFAULT_TOLERANCE):
+    """``REPRO_BENCH_TOLERANCE`` as a float fraction, or the default."""
+    raw = os.environ.get("REPRO_BENCH_TOLERANCE")
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise SystemExit(
+            f"bench-check: REPRO_BENCH_TOLERANCE must be a number, "
+            f"got {raw!r}"
+        )
+    if value < 0:
+        raise SystemExit(
+            f"bench-check: REPRO_BENCH_TOLERANCE must be >= 0, "
+            f"got {value}"
+        )
+    return value
+
+
+def is_throughput_key(key):
+    return key.endswith(THROUGHPUT_SUFFIXES) or any(
+        fragment in key for fragment in THROUGHPUT_SUBSTRINGS
+    )
+
+
+def throughput_leaves(report, prefix=""):
+    """``{dotted.path: value}`` of every compared leaf in a report."""
+    leaves = {}
+    for key, value in report.items():
+        path = f"{prefix}{key}"
+        if key in SKIP_SUBTREES:
+            continue
+        if isinstance(value, dict):
+            leaves.update(throughput_leaves(value, prefix=f"{path}."))
+        elif isinstance(value, (int, float)) \
+                and not isinstance(value, bool) \
+                and is_throughput_key(key):
+            leaves[path] = value
+    return leaves
+
+
+@dataclass
+class Comparison:
+    """One compared key: baseline vs fresh."""
+
+    path: str
+    baseline: float
+    fresh: float
+
+    @property
+    def change(self):
+        """Relative change; +0.10 means 10% faster than baseline."""
+        if self.baseline == 0:
+            return 0.0
+        return (self.fresh - self.baseline) / self.baseline
+
+    def regressed(self, tolerance):
+        return self.fresh < self.baseline * (1.0 - tolerance)
+
+
+def compare_reports(baseline, fresh):
+    """Comparisons for every throughput key present in both reports."""
+    baseline_leaves = throughput_leaves(baseline)
+    fresh_leaves = throughput_leaves(fresh)
+    return [
+        Comparison(path, baseline_leaves[path], fresh_leaves[path])
+        for path in sorted(baseline_leaves)
+        if path in fresh_leaves
+    ]
+
+
+def committed_baseline(path, root=REPO_ROOT):
+    """The committed (HEAD) version of a report file, or None."""
+    path = pathlib.Path(path)
+    try:
+        relative = path.resolve().relative_to(root)
+    except ValueError:
+        return None
+    proc = subprocess.run(
+        ["git", "-C", str(root), "show", f"HEAD:{relative.as_posix()}"],
+        capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except ValueError:
+        return None
+
+
+def check_report(name, report, tolerance=None, out=sys.stdout,
+                 root=REPO_ROOT):
+    """Compare one fresh report against its committed baseline.
+
+    Returns the regressed comparisons (empty when clean or when no
+    baseline exists).  Used by ``benchmarks/conftest.py`` before it
+    overwrites ``BENCH_<name>.json``.
+    """
+    if tolerance is None:
+        tolerance = tolerance_from_env()
+    baseline = committed_baseline(root / f"BENCH_{name}.json", root=root)
+    if baseline is None:
+        out.write(f"bench-check: {name}: no committed baseline\n")
+        return []
+    comparisons = compare_reports(baseline, report)
+    regressions = [c for c in comparisons if c.regressed(tolerance)]
+    for comparison in comparisons:
+        marker = "REGRESSED" if comparison.regressed(tolerance) else "ok"
+        out.write(
+            f"bench-check: {name}: {comparison.path}: "
+            f"{comparison.baseline:g} -> {comparison.fresh:g} "
+            f"({comparison.change:+.1%}) {marker}\n"
+        )
+    return regressions
+
+
+def check_files(paths, tolerance, out=sys.stdout, root=REPO_ROOT):
+    """CLI body: check each on-disk report; return regression count."""
+    regressed = 0
+    for path in paths:
+        path = pathlib.Path(path)
+        name = path.stem.replace("BENCH_", "", 1)
+        try:
+            fresh = json.loads(path.read_text())
+        except (OSError, ValueError) as error:
+            out.write(f"bench-check: {name}: unreadable ({error})\n")
+            regressed += 1
+            continue
+        regressed += len(check_report(name, fresh, tolerance=tolerance,
+                                      out=out, root=root))
+    return regressed
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="compare fresh BENCH_*.json against the committed "
+                    "baselines (git HEAD)",
+    )
+    parser.add_argument(
+        "reports", nargs="*",
+        help="report files to check (default: every BENCH_*.json at "
+             "the repo root)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=None,
+        help=f"relative drop tolerated before failing "
+             f"(default {DEFAULT_TOLERANCE}, or $REPRO_BENCH_TOLERANCE)",
+    )
+    args = parser.parse_args(argv)
+    tolerance = args.tolerance if args.tolerance is not None \
+        else tolerance_from_env()
+    paths = [pathlib.Path(p) for p in args.reports] or \
+        sorted(REPO_ROOT.glob("BENCH_*.json"))
+    if not paths:
+        print("bench-check: no BENCH_*.json reports found")
+        return 0
+    regressed = check_files(paths, tolerance)
+    if regressed:
+        print(f"bench-check: {regressed} regression(s) "
+              f"(tolerance {tolerance:.0%})", file=sys.stderr)
+        return 1
+    print(f"bench-check: OK ({len(paths)} report(s), "
+          f"tolerance {tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

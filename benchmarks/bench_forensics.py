@@ -1,0 +1,161 @@
+"""Micro-benchmark for the forensic flight recorder's hot-path cost.
+
+A :class:`ForensicRecorder` is armed for the whole production run, but
+until something fires it is only an event-log subscription (PANIC, and
+ALERT when ``--dump-on-alert``).  The acceptance bar from the issue is
+that an armed-but-idle recorder keeps the unwatched hot path within
+10% of a dumps-off machine (``ratio >= 0.9``).  Actual capture cost is
+paid at most ``max_bundles`` times per run, so it is reported as a
+latency (seconds per bundle, capture + JSON write) but not gated as
+throughput.
+
+Writes ``BENCH_forensics.json`` at the repo root.  Run directly
+(``python benchmarks/bench_forensics.py``) or through pytest (marked
+``slow``, so the tier-1 run never pays for it).
+"""
+
+import pathlib
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+import pytest
+
+from conftest import write_bench_json
+
+from repro.common.constants import CACHE_LINE_SIZE, PAGE_SIZE
+from repro.machine.machine import Machine
+from repro.obs.forensics import ForensicRecorder, capture_bundle, \
+    write_bundle
+
+pytestmark = pytest.mark.slow
+
+BASE = 0x4000_0000
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_forensics.json"
+
+#: operations per timed phase.
+HOT_OPS = 40_000
+
+#: bundle captures timed for the latency figure.
+CAPTURE_REPS = 10
+
+
+def _make_machine():
+    machine = Machine(dram_size=8 * 1024 * 1024)
+    machine.kernel.mmap(BASE, 64 * PAGE_SIZE)
+    return machine
+
+
+def _time(fn):
+    start = time.perf_counter()
+    ops = fn()
+    return ops / (time.perf_counter() - start)
+
+
+def _bench_hot_loads(machine):
+    addresses = [BASE + i * CACHE_LINE_SIZE for i in range(16)]
+    for address in addresses:
+        machine.store(address, bytes(8))
+
+    def run():
+        load = machine.load
+        for i in range(HOT_OPS):
+            load(addresses[i & 15], 8)
+        return HOT_OPS
+
+    return _time(run)
+
+
+def _bench_hot_stores(machine):
+    addresses = [BASE + i * CACHE_LINE_SIZE for i in range(16)]
+    for address in addresses:
+        machine.store(address, bytes(8))
+    payload = b"\xa5" * 8
+
+    def run():
+        store = machine.store
+        for i in range(HOT_OPS):
+            store(addresses[i & 15], payload)
+        return HOT_OPS
+
+    return _time(run)
+
+
+def _bench_capture_latency(machine, tmp_dir):
+    start = time.perf_counter()
+    for index in range(CAPTURE_REPS):
+        bundle = capture_bundle(machine, reason="manual")
+        write_bundle(bundle, tmp_dir / f"bench-{index}.dump.json")
+    return (time.perf_counter() - start) / CAPTURE_REPS
+
+
+def run_benchmark(tmp_dir):
+    off = _make_machine()
+    off_loads = _bench_hot_loads(off)
+    off_stores = _bench_hot_stores(off)
+
+    on = _make_machine()
+    recorder = ForensicRecorder(on, dump_dir=tmp_dir, label="bench",
+                                on_alert=True)
+    on_loads = _bench_hot_loads(on)
+    on_stores = _bench_hot_stores(on)
+    recorder.detach()
+    assert recorder.bundle_paths == []  # armed but idle, as intended
+
+    capture_latency = _bench_capture_latency(on, tmp_dir)
+
+    report = {
+        "benchmark": "forensics",
+        "hot_ops": HOT_OPS,
+        "configs": {
+            "dumps_off": {
+                "hot_loads_ops_per_sec": off_loads,
+                "hot_stores_ops_per_sec": off_stores,
+            },
+            "recorder_armed": {
+                "hot_loads_ops_per_sec": on_loads,
+                "hot_stores_ops_per_sec": on_stores,
+            },
+        },
+        "armed_ratio_loads": on_loads / off_loads,
+        "armed_ratio_stores": on_stores / off_stores,
+        "capture_latency_seconds": capture_latency,
+    }
+    write_bench_json("forensics", report)
+    return report
+
+
+def test_bench_forensics(tmp_path):
+    report = run_benchmark(tmp_path)
+    assert report["armed_ratio_loads"] >= 0.9
+    assert report["armed_ratio_stores"] >= 0.9
+    # A capture is a heavyweight one-off, but still sub-second.
+    assert report["capture_latency_seconds"] < 1.0
+
+
+def main():
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        report = run_benchmark(pathlib.Path(tmp))
+    off = report["configs"]["dumps_off"]
+    on = report["configs"]["recorder_armed"]
+    print(f"wrote {RESULT_PATH}")
+    for phase in ("hot_loads", "hot_stores"):
+        key = f"{phase}_ops_per_sec"
+        print(
+            f"{phase:>10}: dumps off {off[key]:>10.0f} ops/s | "
+            f"armed {on[key]:>10.0f} ops/s"
+        )
+    print(
+        f"armed ratio: loads {report['armed_ratio_loads']:.3f}, "
+        f"stores {report['armed_ratio_stores']:.3f} | capture "
+        f"{report['capture_latency_seconds'] * 1000:.1f} ms/bundle"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,7 @@ describes machines that actually ran, so a fully-cached validation
 reports no telemetry rather than stale telemetry.
 """
 
+import functools
 import hashlib
 import json
 import multiprocessing
@@ -57,14 +58,20 @@ from repro.analysis.experiments import (
 from repro.analysis.runner import (
     CACHE_SIZE,
     DRAM_SIZE,
+    add_boot_tap,
     add_run_tap,
     make_monitor,
     overhead_percent,
+    remove_boot_tap,
     remove_run_tap,
     run_workload,
 )
 from repro.common.digest import package_digest
-from repro.common.errors import ConfigurationError, FleetError
+from repro.common.errors import (
+    ConfigurationError,
+    FleetError,
+    MachinePanic,
+)
 from repro.obs.merge import dump_registry, merge_dumps
 from repro.workloads.registry import LEAK_WORKLOADS, all_workload_names
 
@@ -112,13 +119,16 @@ def _run_fleet_machine(params):
     """
     sample_every = params.get("sample_every")
     machine = monitor = sampler = engine = None
-    if sample_every:
+    if sample_every or params.get("forensics"):
+        # Pre-boot the machine so the monitoring stack (and, in
+        # forensic mode, the panic handler below) can see it.
         from repro.machine.machine import Machine
-        from repro.obs.alerts import AlertEngine, resolve_rules
-        from repro.obs.sampler import SamplingProfiler, leak_group_source
         machine = Machine(dram_size=DRAM_SIZE, cache_size=CACHE_SIZE,
                           cache_ways=16)
         monitor = make_monitor(params["monitor"])
+    if sample_every:
+        from repro.obs.alerts import AlertEngine, resolve_rules
+        from repro.obs.sampler import SamplingProfiler, leak_group_source
         sampler = SamplingProfiler(machine, interval_cycles=sample_every,
                                    group_source=leak_group_source(monitor))
         engine = AlertEngine(
@@ -132,6 +142,30 @@ def _run_fleet_machine(params):
             params["workload"], params["monitor"], buggy=params["buggy"],
             requests=params["requests"], seed=params["seed"],
             machine=machine, monitor=monitor,
+        )
+    except MachinePanic as error:
+        if machine is None:
+            raise
+        # Forensic mode: the attached recorder already dumped the
+        # machine at the PANIC event; turn the crash into a report row
+        # so the rest of the fleet still renders (with the dump linked).
+        return MachineReport(
+            index=params["index"],
+            seed=params["seed"],
+            cycles=machine.clock.cycles,
+            requests_completed=0,
+            requests=params["requests"] or 0,
+            detection=f"panic: {error}",
+            leak_reports=len(getattr(monitor, "leak_reports", ()) or ()),
+            corruption_reports=len(
+                getattr(monitor, "corruption_reports", ()) or ()),
+            overhead_pct=None,
+            alerts_fired=(sum(f for f, _, _ in
+                              engine.summary().values())
+                          if engine is not None else 0),
+            alerts_resolved=(sum(r for _, r, _ in
+                                 engine.summary().values())
+                             if engine is not None else 0),
         )
     finally:
         if sampler is not None:
@@ -283,26 +317,74 @@ class ResultCache:
 # ----------------------------------------------------------------------
 # Execution: one job per task, in-process or over a worker pool
 # ----------------------------------------------------------------------
-def _execute_job(spec):
-    """Run one job; returns (ident, payload, telemetry dumps, error).
+def _execute_job(spec, dump_dir=None, dump_on_alert=False):
+    """Run one job; returns (ident, payload, dumps, bundles, error).
 
     Top-level so it pickles under any multiprocessing start method.  A
     run tap captures every machine the job boots (each ``run_workload``
     call builds a fresh machine, so absolute registry state is per-run
     state and the dumps never double count).
+
+    With ``dump_dir`` set, a boot tap additionally attaches a
+    :class:`~repro.obs.forensics.ForensicRecorder` to every machine the
+    job boots: a kernel PANIC (and, with ``dump_on_alert``, any alert
+    reaching ``firing``) auto-writes a ``repro.dump/v1`` bundle there,
+    even when the job itself comes back as an error.
     """
     kind, ident, params = spec
     dumps = []
+    recorders = []
     tap = add_run_tap(
         lambda result: dumps.append(dump_registry(result.machine.metrics))
     )
+    boot_tap = None
+    if dump_dir is not None:
+        from repro.obs.forensics import ForensicRecorder
+
+        def _attach_recorder(machine, monitor, run_info):
+            info = dict(run_info)
+            if isinstance(params, dict) and params.get("sample_every") \
+                    and params.get("monitor") == info.get("monitor"):
+                # Record the monitoring stack so replay recreates it
+                # (the alert engine's ALERT events are part of the
+                # stream a bit-exact replay must reproduce).
+                from repro.obs.alerts import resolve_rules
+                info["monitoring"] = {
+                    "sample_every": params["sample_every"],
+                    "rules": [rule.to_dict() for rule in resolve_rules(
+                        params.get("rules", "default"))],
+                }
+            label = ident.replace(":", "-")
+            recorders.append(ForensicRecorder(
+                machine, monitor=monitor, run_info=info,
+                dump_dir=dump_dir, label=f"{label}-{len(recorders)}",
+                on_alert=dump_on_alert,
+            ))
+
+        boot_tap = add_boot_tap(_attach_recorder)
     try:
         payload = JOB_KINDS[kind].run(params)
-        return ident, JOB_KINDS[kind].encode(payload), dumps, None
+        encoded = JOB_KINDS[kind].encode(payload)
+        bundles = _collect_bundles(recorders)
+        if kind == "fleet-machine" and bundles:
+            # Link the dumps from the row's own report (asdict keeps
+            # the field, so the codec round-trips it).
+            encoded["bundles"] = bundles
+        return ident, encoded, dumps, bundles, None
     except Exception as error:
-        return ident, None, dumps, f"{type(error).__name__}: {error}"
+        return (ident, None, dumps, _collect_bundles(recorders),
+                f"{type(error).__name__}: {error}")
     finally:
         remove_run_tap(tap)
+        if boot_tap is not None:
+            remove_boot_tap(boot_tap)
+        for recorder in recorders:
+            recorder.detach()
+
+
+def _collect_bundles(recorders):
+    return [str(path) for recorder in recorders
+            for path in recorder.bundle_paths]
 
 
 @dataclass
@@ -315,6 +397,8 @@ class FleetOutcome:
     metrics: object
     #: raw per-machine registry dumps (merge input; empty on cache hits).
     dumps: list = field(default_factory=list)
+    #: forensic bundle paths written by machines in this run.
+    bundles: list = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
     workers: int = 1
@@ -329,12 +413,17 @@ def resolve_jobs(jobs):
     return jobs
 
 
-def run_jobs(specs, jobs=None, cache=None):
+def run_jobs(specs, jobs=None, cache=None, dump_dir=None,
+             dump_on_alert=False):
     """Run job specs (sharded over processes when ``jobs > 1``).
 
     Payloads come back decoded, keyed by ident.  Any job error raises
     :class:`FleetError` naming every failed shard -- matching the
     serial path, which would have propagated the first exception.
+    With ``dump_dir``, every booted machine carries a forensic
+    recorder; bundle paths are aggregated into the outcome (and onto
+    the raised ``FleetError.bundles``, so a crashed shard's dump is
+    still reachable).
     """
     jobs = resolve_jobs(jobs)
     idents = [spec[1] for spec in specs]
@@ -356,19 +445,23 @@ def run_jobs(specs, jobs=None, cache=None):
         pending.append(spec)
 
     dumps = []
+    bundles = []
     failures = {}
     workers = min(jobs, len(pending)) or 1
+    execute = functools.partial(_execute_job, dump_dir=dump_dir,
+                                dump_on_alert=dump_on_alert)
     if pending:
         if workers > 1:
             with multiprocessing.Pool(processes=workers) as pool:
-                outcomes = pool.imap_unordered(_execute_job, pending,
+                outcomes = pool.imap_unordered(execute, pending,
                                                chunksize=1)
                 outcomes = list(outcomes)
         else:
-            outcomes = [_execute_job(spec) for spec in pending]
+            outcomes = [execute(spec) for spec in pending]
         by_ident = {spec[1]: spec for spec in pending}
-        for ident, payload, job_dumps, error in outcomes:
+        for ident, payload, job_dumps, job_bundles, error in outcomes:
             dumps.extend(job_dumps)
+            bundles.extend(job_bundles)
             if error is not None:
                 failures[ident] = error
                 continue
@@ -377,7 +470,9 @@ def run_jobs(specs, jobs=None, cache=None):
                 spec = by_ident[ident]
                 cache.store(cache.key_for(spec), spec, payload)
     if failures:
-        raise FleetError(failures)
+        error = FleetError(failures)
+        error.bundles = bundles
+        raise error
     if cache is not None:
         cache.hits += hits
         cache.misses += misses
@@ -389,6 +484,7 @@ def run_jobs(specs, jobs=None, cache=None):
         payloads=payloads,
         metrics=merge_dumps(dumps) if dumps else None,
         dumps=dumps,
+        bundles=bundles,
         cache_hits=hits,
         cache_misses=misses,
         workers=workers,
@@ -442,12 +538,14 @@ class ValidationRun:
 
 
 def run_validation(requests=250, jobs=None, cache_dir=None,
-                   use_cache=True):
+                   use_cache=True, dump_dir=None):
     """Sharded ``repro validate``: enumerate, fan out, merge, check.
 
     ``jobs=1`` runs every shard in-process (no pool) but still through
     the payload codec, so the only difference parallelism introduces is
-    which process executed a shard.
+    which process executed a shard.  ``dump_dir`` turns on forensic
+    recording: any shard machine that panics leaves a ``repro.dump/v1``
+    bundle there.
     """
     from repro.analysis.claims import validate
     cache = None
@@ -455,7 +553,8 @@ def run_validation(requests=250, jobs=None, cache_dir=None,
         cache = ResultCache(cache_dir if cache_dir is not None
                             else default_cache_dir())
     specs = enumerate_validation_jobs(requests=requests)
-    outcome = run_jobs(specs, jobs=jobs, cache=cache)
+    outcome = run_jobs(specs, jobs=jobs, cache=cache,
+                       dump_dir=dump_dir)
     context = assemble_context(outcome.payloads)
     return ValidationRun(results=validate(context=context),
                          context=context, outcome=outcome)
@@ -500,6 +599,8 @@ class MachineReport:
     #: alert-engine totals; 0 unless the fleet ran with sampling on.
     alerts_fired: int = 0
     alerts_resolved: int = 0
+    #: forensic bundle paths this machine wrote (dump mode only).
+    bundles: list = field(default_factory=list)
 
 
 @dataclass
@@ -578,6 +679,12 @@ class FleetResult:
             note += (f"; overhead min/median/max "
                      f"{fmt_percent(low)}/{fmt_percent(median)}/"
                      f"{fmt_percent(high)}")
+        dumped = [(report.index, path) for report in self.reports
+                  for path in report.bundles]
+        if dumped:
+            note += "\nforensic dumps:"
+            for index, path in dumped:
+                note += f"\n  machine {index}: {path}"
         return render_table(
             f"Fleet: {len(self.reports)} machines of {self.workload} "
             f"under {self.monitor} "
@@ -591,7 +698,7 @@ class FleetResult:
 
 def run_fleet(workload, machines=4, monitor="safemem", requests=None,
               buggy=False, jobs=None, base_seed=0, sample_every=None,
-              rules="default"):
+              rules="default", dump_dir=None, dump_on_alert=False):
     """Run ``machines`` simulated machines of one workload concurrently.
 
     Each machine gets its own seed (``base_seed + index``) so the fleet
@@ -602,18 +709,25 @@ def run_fleet(workload, machines=4, monitor="safemem", requests=None,
     ``rules``) on every machine; per-machine alert summaries land in
     the :class:`MachineReport` rows and the merged ``alerts.*``
     counters give fleet-wide totals.
+
+    ``dump_dir`` arms forensic recording on every machine: a PANIC
+    (and, with ``dump_on_alert``, any alert reaching ``firing``) writes
+    a ``repro.dump/v1`` bundle there, and the fleet report links it.
     """
     if machines < 1:
         raise ConfigurationError(
             f"--machines must be >= 1, got {machines}")
+    forensics = dump_dir is not None
     specs = [
         ("fleet-machine", f"fleet:{workload}:{index}",
          {"workload": workload, "monitor": monitor, "buggy": buggy,
           "requests": requests, "seed": base_seed + index,
-          "index": index, "sample_every": sample_every, "rules": rules})
+          "index": index, "sample_every": sample_every, "rules": rules,
+          "forensics": forensics})
         for index in range(machines)
     ]
-    outcome = run_jobs(specs, jobs=jobs, cache=None)
+    outcome = run_jobs(specs, jobs=jobs, cache=None, dump_dir=dump_dir,
+                       dump_on_alert=dump_on_alert)
     reports = [outcome.payloads[f"fleet:{workload}:{index}"]
                for index in range(machines)]
     return FleetResult(workload=workload, monitor=monitor, buggy=buggy,

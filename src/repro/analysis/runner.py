@@ -70,6 +70,26 @@ def remove_run_tap(tap):
     _RUN_TAPS.remove(tap)
 
 
+#: observers called with ``(machine, monitor, run_info)`` as each run
+#: starts -- before the workload's first request, after the program is
+#: mapped.  Forensic auto-dump uses this to attach a recorder to every
+#: machine a validation shard boots, however deep in an experiment the
+#: boot happens; ``run_info`` carries exactly the fields a
+#: ``repro.dump/v1`` bundle needs to make the run replayable.
+_BOOT_TAPS = []
+
+
+def add_boot_tap(tap):
+    """Register ``tap(machine, monitor, run_info)`` on run start."""
+    _BOOT_TAPS.append(tap)
+    return tap
+
+
+def remove_boot_tap(tap):
+    """Unregister a tap installed with :func:`add_boot_tap`."""
+    _BOOT_TAPS.remove(tap)
+
+
 MONITOR_FACTORIES = {
     "native": lambda: NullMonitor(),
     "profiler": lambda: _make_profiler(),
@@ -124,6 +144,17 @@ def run_workload(workload_name, monitor_name="native", buggy=False,
     start = machine.metrics.snapshot()
     program = Program(machine, monitor=monitor, heap_size=heap_size)
     workload = get_workload(workload_name, requests=requests, seed=seed)
+    if _BOOT_TAPS:
+        run_info = {
+            "workload": workload_name,
+            "monitor": monitor_name,
+            "buggy": buggy,
+            "requests": workload.requests,
+            "seed": seed,
+            "heap_size": heap_size,
+        }
+        for tap in _BOOT_TAPS:
+            tap(machine, monitor, run_info)
     with machine.tracer.span(f"workload.{workload_name}",
                              monitor=monitor_name, buggy=buggy):
         truth = workload.run(program, buggy=buggy)

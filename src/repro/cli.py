@@ -16,13 +16,23 @@ Commands:
   cycle-driven sampling profiler, declarative alert rules, a periodic
   top-style panel, and an optional rotating ``repro.events/v1`` JSONL
   stream (``--stream``);
+- ``replay``  re-runs a forensic bundle's recorded workload
+  deterministically to an optional breakpoint and differentially
+  verifies the event stream against the recording;
+- ``inspect`` summarizes a ``repro.dump/v1`` bundle, a
+  ``repro.metrics/v1`` snapshot, or a ``repro.events/v1`` stream;
+- ``diff``    compares two bundles / metrics snapshots (counter
+  deltas, histogram shift, alerts appearing/disappearing);
 - ``run``     runs one workload under one monitor and prints a summary;
 - ``stats``   runs one workload and prints its metrics snapshot;
 - ``list``    shows the available workloads and monitors.
 
 ``run``, ``stats``, ``validate``, and ``fleet`` accept
 ``--emit-metrics PATH`` to write the run's (merged) registry snapshot
-as a ``repro.metrics/v1`` JSON document.
+as a ``repro.metrics/v1`` JSON document.  ``monitor``, ``fleet``, and
+``validate`` can arm forensic recording (``--dump-dir`` /
+``--dump-on-alert``): machines that panic or trip a firing alert
+auto-write ``repro.dump/v1`` bundles -- see ``docs/SCHEMAS.md``.
 """
 
 import argparse
@@ -112,6 +122,11 @@ def build_parser():
         help="write the merged fleet telemetry as repro.metrics/v1 "
              "JSON (covers freshly-run experiments only)",
     )
+    validate_parser.add_argument(
+        "--dump-dir", default=None, metavar="DIR",
+        help="write repro.dump/v1 forensic bundles here when a shard "
+             "machine panics",
+    )
 
     fleet_parser = sub.add_parser(
         "fleet",
@@ -152,6 +167,16 @@ def build_parser():
         "--emit-metrics", metavar="PATH", default=None,
         help="write the merged fleet telemetry as repro.metrics/v1 "
              "JSON",
+    )
+    fleet_parser.add_argument(
+        "--dump-dir", default=None, metavar="DIR",
+        help="write repro.dump/v1 forensic bundles here on machine "
+             "panic (and, with --dump-on-alert, on firing alerts)",
+    )
+    fleet_parser.add_argument(
+        "--dump-on-alert", action="store_true",
+        help="also dump a bundle when any alert reaches firing "
+             "(defaults --dump-dir to ./dumps)",
     )
 
     monitor_parser = sub.add_parser(
@@ -197,6 +222,85 @@ def build_parser():
         "--emit-metrics", metavar="PATH", default=None,
         help="write the run's metrics as repro.metrics/v1 JSON",
     )
+    monitor_parser.add_argument(
+        "--dump-dir", default=None, metavar="DIR",
+        help="write repro.dump/v1 forensic bundles here on kernel "
+             "panic (and, with --dump-on-alert, on firing alerts)",
+    )
+    monitor_parser.add_argument(
+        "--dump-on-alert", action="store_true",
+        help="also dump a bundle when any alert reaches firing "
+             "(defaults --dump-dir to ./dumps)",
+    )
+
+    replay_parser = sub.add_parser(
+        "replay",
+        help="re-run a forensic bundle's recorded workload "
+             "deterministically, to an optional breakpoint",
+    )
+    replay_parser.add_argument(
+        "bundle", help="repro.dump/v1 bundle path")
+    replay_parser.add_argument(
+        "--until-cycle", type=int, default=None, metavar="N",
+        help="break once the simulated clock reaches cycle N",
+    )
+    replay_parser.add_argument(
+        "--break-on", default=None, metavar="EVENT|ADDR",
+        help="break at the first matching event kind (e.g. "
+             "leak_report) or address (e.g. 0x401000)",
+    )
+    replay_parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the differential check against the recorded event "
+             "stream",
+    )
+
+    inspect_parser = sub.add_parser(
+        "inspect",
+        help="summarize a forensic bundle, metrics snapshot, or "
+             "events stream",
+    )
+    inspect_parser.add_argument(
+        "path", help="a repro.dump/v1, repro.metrics/v1, or "
+                     "repro.events/v1 file")
+    inspect_parser.add_argument(
+        "--events", action="store_true",
+        help="list the bundle's recorded event tail")
+    inspect_parser.add_argument(
+        "--kind", default=None, metavar="EVENT",
+        help="filter the event tail by kind (implies --events)")
+    inspect_parser.add_argument(
+        "--since", type=int, default=None, metavar="CYCLE",
+        help="filter the event tail to cycles >= CYCLE "
+             "(implies --events)")
+    inspect_parser.add_argument(
+        "--spans", action="store_true",
+        help="print the recorded span flight recorder")
+    inspect_parser.add_argument(
+        "--groups", action="store_true",
+        help="print the leak-group lifetime table")
+    inspect_parser.add_argument(
+        "--heap", action="store_true",
+        help="print the live heap map")
+    inspect_parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the embedded metrics snapshot")
+    inspect_parser.add_argument(
+        "--prefix", default=None,
+        help="metrics namespace filter for --metrics")
+    inspect_parser.add_argument(
+        "--limit", type=int, default=20,
+        help="rows shown per view (default 20)")
+
+    diff_parser = sub.add_parser(
+        "diff",
+        help="compare two forensic bundles / metrics snapshots",
+    )
+    diff_parser.add_argument("a", metavar="A")
+    diff_parser.add_argument("b", metavar="B")
+    diff_parser.add_argument(
+        "--limit", type=int, default=20,
+        help="rows shown per section (default 20)")
 
     run_parser = sub.add_parser(
         "run", help="run one workload under one monitor"
@@ -349,12 +453,20 @@ def command_validate(args, out):
         render_validation,
         write_experiments_block,
     )
-    run = fleet.run_validation(
-        requests=args.requests,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        use_cache=not args.no_cache,
-    )
+    from repro.common.errors import FleetError
+    try:
+        run = fleet.run_validation(
+            requests=args.requests,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            dump_dir=args.dump_dir,
+        )
+    except FleetError as error:
+        out.write(f"fleet error: {error}\n")
+        for path in getattr(error, "bundles", []):
+            out.write(f"dump:      {path}\n")
+        return 1
     out.write(render_validation(run.results) + "\n")
     if not args.no_cache:
         outcome = run.outcome
@@ -384,17 +496,28 @@ def command_validate(args, out):
 
 def command_fleet(args, out):
     from repro.analysis import fleet
-    result = fleet.run_fleet(
-        args.workload,
-        machines=args.machines,
-        monitor=args.monitor,
-        requests=args.requests,
-        buggy=args.buggy,
-        jobs=args.jobs,
-        base_seed=args.seed,
-        sample_every=args.sample_every,
-        rules=args.rules,
-    )
+    from repro.common.errors import FleetError
+    dump_dir = args.dump_dir or ("dumps" if args.dump_on_alert
+                                 else None)
+    try:
+        result = fleet.run_fleet(
+            args.workload,
+            machines=args.machines,
+            monitor=args.monitor,
+            requests=args.requests,
+            buggy=args.buggy,
+            jobs=args.jobs,
+            base_seed=args.seed,
+            sample_every=args.sample_every,
+            rules=args.rules,
+            dump_dir=dump_dir,
+            dump_on_alert=args.dump_on_alert,
+        )
+    except FleetError as error:
+        out.write(f"fleet error: {error}\n")
+        for path in getattr(error, "bundles", []):
+            out.write(f"dump:      {path}\n")
+        return 1
     out.write(result.render() + "\n")
     if args.emit_metrics and result.metrics is not None:
         document = write_metrics_json(
@@ -410,6 +533,7 @@ def command_fleet(args, out):
 
 def command_monitor(args, out):
     from repro.analysis.runner import CACHE_SIZE, DRAM_SIZE, make_monitor
+    from repro.common.errors import MachinePanic
     from repro.machine.machine import Machine
     from repro.obs.alerts import AlertEngine, resolve_rules
     from repro.obs.sampler import (
@@ -422,9 +546,10 @@ def command_monitor(args, out):
     machine = Machine(dram_size=DRAM_SIZE, cache_size=CACHE_SIZE,
                       cache_ways=16)
     monitor = make_monitor(args.monitor)
+    rules = resolve_rules(args.rules)
     sampler = SamplingProfiler(machine, interval_cycles=args.sample_every,
                                group_source=leak_group_source(monitor))
-    engine = AlertEngine(resolve_rules(args.rules), events=machine.events,
+    engine = AlertEngine(rules, events=machine.events,
                          metrics=machine.metrics)
     sampler.add_listener(engine.evaluate)
     if args.report_every:
@@ -433,54 +558,188 @@ def command_monitor(args, out):
                 out.write(render_top(sample, alerts=engine.firing(),
                                      top=args.top) + "\n\n")
         sampler.add_listener(live_panel)
-    stream = sink = None
-    if args.stream:
-        sink = JsonlSink(args.stream,
-                         max_bytes=args.stream_max_bytes
-                         or DEFAULT_MAX_BYTES)
-        stream = TelemetryStream(sink, machine=machine, sampler=sampler,
-                                 engine=engine)
-        stream.mark(machine.clock.cycles, marker="start",
-                    workload=args.workload, monitor=args.monitor,
-                    buggy=args.buggy, seed=args.seed,
-                    sample_every=args.sample_every, rules=args.rules)
-    sampler.start()
+    stream = sink = recorder = None
+    dump_dir = args.dump_dir or ("dumps" if args.dump_on_alert
+                                 else None)
     try:
-        result = run_workload(args.workload, args.monitor,
-                              buggy=args.buggy, requests=args.requests,
-                              seed=args.seed, machine=machine,
-                              monitor=monitor)
-    finally:
-        sampler.stop()
-    final = sampler.sample_now()
-    out.write(render_top(final, alerts=engine.firing(), top=args.top,
-                         title=f"final: {args.workload}/{args.monitor}")
-              + "\n")
-    out.write(f"requests:  {result.truth.requests_completed}"
-              f"/{result.requests}\n")
-    out.write(f"samples:   {sampler.samples_taken} "
-              f"({sampler.samples_evicted} evicted from the ring)\n")
-    summary = engine.summary()
-    fired_total = sum(fired for fired, _, _ in summary.values())
-    if summary:
-        out.write("alerts:\n")
-        for name, (fired, resolved, state) in summary.items():
-            out.write(f"  {name:<26} fired {fired}  "
-                      f"resolved {resolved}  state {state}\n")
-    if result.truth.detection is not None:
-        out.write(f"stopped at detection: "
-                  f"{result.truth.detection.report}\n")
-    if stream is not None:
-        stream.mark(machine.clock.cycles, marker="finish",
-                    samples=sampler.samples_taken,
-                    alerts_fired=fired_total)
-        stream.close()
-        out.write(f"stream:    {sink.records_written} records, "
-                  f"{sink.rotations} rotation(s) -> "
-                  + ", ".join(str(path) for path in sink.paths())
+        if args.stream:
+            sink = JsonlSink(args.stream,
+                             max_bytes=args.stream_max_bytes
+                             or DEFAULT_MAX_BYTES)
+            stream = TelemetryStream(sink, machine=machine,
+                                     sampler=sampler, engine=engine)
+            stream.mark(machine.clock.cycles, marker="start",
+                        workload=args.workload, monitor=args.monitor,
+                        buggy=args.buggy, seed=args.seed,
+                        sample_every=args.sample_every, rules=args.rules)
+        if dump_dir is not None:
+            from repro.obs.forensics import ForensicRecorder
+            recorder = ForensicRecorder(
+                machine, monitor=monitor,
+                run_info={
+                    "workload": args.workload,
+                    "monitor": args.monitor,
+                    "buggy": args.buggy,
+                    "requests": args.requests,
+                    "seed": args.seed,
+                    "monitoring": {
+                        "sample_every": args.sample_every,
+                        "rules": [rule.to_dict() for rule in rules],
+                    },
+                },
+                dump_dir=dump_dir, label=args.workload,
+                on_alert=args.dump_on_alert,
+            )
+        sampler.start()
+        panic = None
+        try:
+            result = run_workload(args.workload, args.monitor,
+                                  buggy=args.buggy,
+                                  requests=args.requests,
+                                  seed=args.seed, machine=machine,
+                                  monitor=monitor)
+        except MachinePanic as error:
+            if recorder is None:
+                raise
+            panic = error
+        finally:
+            sampler.stop()
+        if panic is not None:
+            if stream is not None:
+                stream.mark(machine.clock.cycles, marker="panic",
+                            reason=str(panic))
+            out.write(f"PANIC: {panic}\n")
+            for path in recorder.bundle_paths:
+                out.write(f"dump:      {path}\n")
+            return 1
+        final = sampler.sample_now()
+        out.write(render_top(final, alerts=engine.firing(),
+                             top=args.top,
+                             title=f"final: {args.workload}/"
+                                   f"{args.monitor}")
                   + "\n")
-    if args.emit_metrics:
-        _emit_metrics(args.emit_metrics, result, out)
+        out.write(f"requests:  {result.truth.requests_completed}"
+                  f"/{result.requests}\n")
+        out.write(f"samples:   {sampler.samples_taken} "
+                  f"({sampler.samples_evicted} evicted from the ring)\n")
+        summary = engine.summary()
+        fired_total = sum(fired for fired, _, _ in summary.values())
+        if summary:
+            out.write("alerts:\n")
+            for name, (fired, resolved, state) in summary.items():
+                out.write(f"  {name:<26} fired {fired}  "
+                          f"resolved {resolved}  state {state}\n")
+        if result.truth.detection is not None:
+            out.write(f"stopped at detection: "
+                      f"{result.truth.detection.report}\n")
+        if stream is not None:
+            stream.mark(machine.clock.cycles, marker="finish",
+                        samples=sampler.samples_taken,
+                        alerts_fired=fired_total)
+            stream.close()
+            out.write(f"stream:    {sink.records_written} records, "
+                      f"{sink.rotations} rotation(s) -> "
+                      + ", ".join(str(path) for path in sink.paths())
+                      + "\n")
+        if recorder is not None and recorder.bundle_paths:
+            for path in recorder.bundle_paths:
+                out.write(f"dump:      {path}\n")
+        if args.emit_metrics:
+            _emit_metrics(args.emit_metrics, result, out)
+        return 0
+    finally:
+        # Exception-safe teardown: the stream always detaches and the
+        # sink always flushes (close is idempotent), so a mid-run crash
+        # still leaves a parseable repro.events/v1 file on disk.
+        if recorder is not None:
+            recorder.detach()
+        if stream is not None:
+            stream.close()
+
+
+def command_replay(args, out):
+    from repro.obs import forensics
+    bundle = forensics.load_bundle(args.bundle)
+    result = forensics.replay_bundle(bundle,
+                                     until_cycle=args.until_cycle,
+                                     break_on=args.break_on)
+    run = bundle.get("run", {})
+    out.write(f"replayed:  {run.get('workload', '?')}/"
+              f"{run.get('monitor', '?')} seed {run.get('seed', 0)} "
+              f"(bundle captured at cycle {bundle.get('cycle', 0):,})\n")
+    if result.broke:
+        out.write(f"break:     cycle {result.break_cycle:,} "
+                  f"({len(result.events)} events so far)\n")
+        state = forensics.capture_bundle(
+            result.machine, monitor=result.monitor, run_info=run,
+            reason="replay-break")
+        out.write(forensics.render_bundle_summary(state) + "\n")
+        out.write(forensics.render_bundle_groups(state) + "\n")
+    else:
+        out.write(f"finished:  cycle {result.break_cycle:,} "
+                  f"({len(result.events)} events)\n")
+        if result.panic is not None:
+            out.write(f"re-panicked: {result.panic}\n")
+        elif result.truth is not None:
+            out.write(f"requests:  "
+                      f"{result.truth.requests_completed} completed\n")
+    if args.no_verify:
+        return 0
+    ok, message = forensics.verify_replay(bundle, result)
+    out.write(f"verify:    {'OK' if ok else 'DIVERGED'} -- {message}\n")
+    return 0 if ok else 1
+
+
+def command_inspect(args, out):
+    from repro.obs import forensics
+    from repro.obs.export import snapshot_from_document
+    kind, payload = forensics.load_document(args.path)
+    if kind == "stream":
+        out.write(forensics.render_stream_summary(payload) + "\n")
+        return 0
+    if kind == "metrics":
+        out.write(render_metrics_table(
+            snapshot_from_document(payload), title=str(args.path),
+            prefix=args.prefix) + "\n")
+        return 0
+    bundle = payload
+    if args.events or args.kind or args.since is not None:
+        out.write(forensics.render_bundle_events(
+            bundle, kind=args.kind, since_cycle=args.since,
+            limit=args.limit) + "\n")
+    elif args.spans:
+        spans = bundle.get("spans", {}).get("recent", [])
+        out.write(render_span_tree(spans, limit=args.limit) + "\n")
+    elif args.groups:
+        out.write(forensics.render_bundle_groups(bundle, top=args.limit)
+                  + "\n")
+    elif args.heap:
+        out.write(forensics.render_bundle_heap(bundle, top=args.limit)
+                  + "\n")
+    elif args.metrics:
+        out.write(render_metrics_table(
+            forensics.bundle_snapshot(bundle), title="bundle metrics",
+            prefix=args.prefix) + "\n")
+    else:
+        out.write(forensics.render_bundle_summary(bundle) + "\n\n")
+        out.write(forensics.render_bundle_groups(bundle) + "\n")
+    return 0
+
+
+def command_diff(args, out):
+    from repro.common.errors import ConfigurationError
+    from repro.obs import forensics
+    documents = []
+    for path in (args.a, args.b):
+        kind, payload = forensics.load_document(path)
+        if kind == "stream":
+            raise ConfigurationError(
+                f"{path} is an events stream; diff compares bundles "
+                f"or metrics snapshots"
+            )
+        documents.append(payload)
+    diff = forensics.diff_documents(*documents)
+    out.write(forensics.render_diff(diff, limit=args.limit) + "\n")
     return 0
 
 
@@ -517,6 +776,12 @@ def main(argv=None, out=None):
         return command_fleet(args, out)
     elif args.command == "monitor":
         return command_monitor(args, out)
+    elif args.command == "replay":
+        return command_replay(args, out)
+    elif args.command == "inspect":
+        return command_inspect(args, out)
+    elif args.command == "diff":
+        return command_diff(args, out)
     elif args.command == "run":
         return command_run(args, out)
     elif args.command == "stats":

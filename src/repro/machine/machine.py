@@ -19,7 +19,7 @@ from repro.common.constants import (
 )
 from repro.common.costs import default_cost_model
 from repro.common.errors import MachinePanic, PageFault, ProtectionFault
-from repro.common.events import EventLog
+from repro.common.events import EventKind, EventLog
 from repro.ecc.controller import EccMode, MemoryController
 from repro.ecc.dram import PhysicalMemory
 from repro.ecc.faults import UncorrectableEccError
@@ -65,6 +65,20 @@ class Machine:
                  cache_ways=8, ecc_mode=EccMode.CORRECT_ERROR,
                  cost_model=None, max_pinned_pages=None, cache_levels=1,
                  l1_size=16 * 1024, l1_ways=4):
+        #: how this machine was booted -- recorded into forensic
+        #: bundles so replay can construct an identical machine
+        #: (the cost model is assumed default; custom models are an
+        #: in-process experiment concern, not a production config).
+        self.boot_config = {
+            "dram_size": dram_size,
+            "cache_size": cache_size,
+            "cache_ways": cache_ways,
+            "ecc_mode": ecc_mode.value,
+            "max_pinned_pages": max_pinned_pages,
+            "cache_levels": cache_levels,
+            "l1_size": l1_size,
+            "l1_ways": l1_ways,
+        }
         self.costs = cost_model or default_cost_model()
         self.clock = VirtualClock()
         self.events = EventLog(self.clock)
@@ -206,10 +220,7 @@ class Machine:
             except ProtectionFault as exc:
                 if not self.kernel.handle_protection_fault(exc):
                     raise
-        raise MachinePanic(
-            f"ECC fault at {vaddr:#x} persisted after "
-            f"{_retry_budget(size)} handler retries"
-        )
+        self._retry_panic(vaddr, _retry_budget(size))
 
     def store(self, vaddr, data):
         """Store bytes to virtual memory (write-allocate, so a store to
@@ -231,10 +242,19 @@ class Machine:
             except ProtectionFault as exc:
                 if not self.kernel.handle_protection_fault(exc):
                     raise
-        raise MachinePanic(
-            f"ECC fault at {vaddr:#x} persisted after "
-            f"{_retry_budget(len(data))} handler retries"
-        )
+        self._retry_panic(vaddr, _retry_budget(len(data)))
+
+    def _retry_panic(self, vaddr, budget):
+        """Give up on an access whose fault the handler cannot clear.
+
+        Emits a PANIC event first so post-mortem subscribers (the
+        tracer's panic dump, forensic recorders) capture the machine
+        state, mirroring the kernel's unhandled-fault panic path.
+        """
+        reason = (f"ECC fault at {vaddr:#x} persisted after "
+                  f"{budget} handler retries")
+        self.events.emit(EventKind.PANIC, address=vaddr, reason=reason)
+        raise MachinePanic(reason)
 
     # ------------------------------------------------------------------
     # raw (tool-level) access: no cycles, no faults

@@ -8,7 +8,9 @@ the stable ``repro.metrics/v1`` schema.  On top of that sits the
 continuous-monitoring layer: a :class:`SamplingProfiler` driven by the
 simulated clock, an :class:`AlertEngine` evaluating declarative rules
 on every sample, and streaming sinks shipping ``repro.events/v1``
-records (see ``docs/OBSERVABILITY.md``).
+records (see ``docs/OBSERVABILITY.md``).  Post-mortem forensics --
+``repro.dump/v1`` crash bundles, deterministic replay, and run
+diffing -- live in :mod:`repro.obs.forensics`.
 """
 
 from repro.obs.alerts import (
@@ -23,7 +25,22 @@ from repro.obs.export import (
     render_metrics_table,
     render_span_tree,
     snapshot_document,
+    snapshot_from_document,
     write_metrics_json,
+)
+from repro.obs.forensics import (
+    DUMP_SCHEMA,
+    ForensicRecorder,
+    ReplayResult,
+    capture_bundle,
+    diff_documents,
+    load_bundle,
+    load_document,
+    render_bundle_summary,
+    render_diff,
+    replay_bundle,
+    verify_replay,
+    write_bundle,
 )
 from repro.obs.merge import dump_registry, merge_dumps, merge_registries
 from repro.obs.metrics import (
@@ -44,16 +61,19 @@ from repro.obs.sink import (
 from repro.obs.trace import Span, Tracer
 
 __all__ = [
+    "DUMP_SCHEMA",
     "EVENTS_SCHEMA",
     "SCHEMA",
     "AlertEngine",
     "AlertRule",
     "Counter",
+    "ForensicRecorder",
     "Gauge",
     "Histogram",
     "JsonlSink",
     "MemorySink",
     "MetricsRegistry",
+    "ReplayResult",
     "Sample",
     "SamplingProfiler",
     "Snapshot",
@@ -61,15 +81,25 @@ __all__ = [
     "TelemetryStream",
     "Tracer",
     "attr_reader",
+    "capture_bundle",
     "default_rules",
+    "diff_documents",
     "dump_registry",
+    "load_bundle",
+    "load_document",
     "load_rules",
     "merge_dumps",
     "merge_registries",
+    "render_bundle_summary",
+    "render_diff",
     "render_metrics_table",
     "render_span_tree",
     "render_top",
+    "replay_bundle",
     "resolve_rules",
     "snapshot_document",
+    "snapshot_from_document",
+    "verify_replay",
+    "write_bundle",
     "write_metrics_json",
 ]

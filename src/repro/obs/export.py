@@ -26,6 +26,8 @@ and ``spans`` are optional and omitted when empty.
 
 import json
 
+from repro.common.errors import ConfigurationError
+
 SCHEMA = "repro.metrics/v1"
 
 
@@ -50,6 +52,29 @@ def snapshot_document(snapshot, spans=None, meta=None):
             for span in spans
         ]
     return document
+
+
+def snapshot_from_document(document):
+    """Rebuild a :class:`~repro.obs.metrics.Snapshot` from a document.
+
+    Inverse of :func:`snapshot_document` (spans and meta are not part
+    of a snapshot and are dropped).  Lets every snapshot consumer --
+    the human table, the diff engine -- work on persisted documents,
+    including the one embedded in a ``repro.dump/v1`` bundle.
+    """
+    from repro.obs.metrics import Snapshot
+    if not isinstance(document, dict) or document.get("schema") != SCHEMA:
+        raise ConfigurationError(
+            f"not a {SCHEMA} document: "
+            f"{document.get('schema') if isinstance(document, dict) else type(document).__name__!r}"
+        )
+    generated = document.get("generated", {})
+    return Snapshot(
+        generated.get("cycle", 0),
+        dict(document.get("metrics", {})),
+        dict(document.get("kinds", {})),
+        since_cycle=generated.get("since_cycle"),
+    )
 
 
 def write_metrics_json(path, snapshot, spans=None, meta=None):

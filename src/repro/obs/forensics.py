@@ -1,0 +1,864 @@
+"""Post-mortem forensics: crash dumps, deterministic replay, run diffing.
+
+SafeMem's value proposition is diagnosing leaks and corruption *after
+the fact*; until now everything the monitoring stack knew died with the
+process.  This module makes that state durable and re-drivable:
+
+- :func:`capture_bundle` freezes one machine into a **ForensicBundle**
+  -- a versioned ``repro.dump/v1`` JSON document bundling machine
+  config, the recorded run (workload/monitor/seed), the current cycle,
+  a full metrics snapshot, the tracer flight recorder, the EventLog
+  tail, watch-registry contents, the allocator heap map with
+  ``(size, call-stack signature)`` leak-group lifetime tables, and the
+  interrupt-controller state;
+- :class:`ForensicRecorder` captures bundles automatically: always on
+  kernel PANIC, optionally on any alert reaching ``firing``
+  (``--dump-on-alert``), writing each to a dump directory;
+- :func:`replay_bundle` re-runs the recorded workload from its seed on
+  a freshly booted identical machine -- the simulation has no
+  wall-clock and no unseeded randomness, so replay is **bit-exact** --
+  to an optional breakpoint (``--until-cycle N`` /
+  ``--break-on <event-kind|address>``) and returns the live machine for
+  state inspection;
+- :func:`verify_replay` checks a replay's event stream against the
+  bundle's recorded tail (the differential pin);
+- :func:`diff_documents` compares two bundles or ``repro.metrics/v1``
+  snapshots: counter deltas, gauge changes, histogram shift, alerts
+  that appear/disappear, and leak-group growth.
+
+Capture is observation-only: it reads registries, rings, and tables but
+never ticks the simulated clock or emits events, so a run that was
+dumped mid-flight replays identically whether or not a recorder was
+attached.  See ``docs/SCHEMAS.md`` for the full field tables.
+"""
+
+import json
+import pathlib
+import re
+from dataclasses import dataclass, field
+
+from repro.common.errors import (
+    ConfigurationError,
+    MachinePanic,
+    ReproError,
+)
+from repro.common.events import EventKind
+from repro.obs.export import snapshot_document, snapshot_from_document
+from repro.obs.sampler import group_stats
+
+#: schema tag of a forensic bundle document.
+DUMP_SCHEMA = "repro.dump/v1"
+
+#: events kept in a bundle's tail (newest; the full log stays in RAM).
+EVENT_TAIL_LIMIT = 256
+
+#: live allocations listed in a bundle's heap map (largest first).
+HEAP_MAP_LIMIT = 512
+
+#: leak groups listed in a bundle (largest live_bytes first).
+GROUP_LIMIT = 64
+
+
+# ----------------------------------------------------------------------
+# capture
+# ----------------------------------------------------------------------
+def event_to_dict(event):
+    """One :class:`~repro.common.events.Event` as a JSON-able record.
+
+    The same encoding is used at capture time and at replay-verify
+    time, so stream comparison is bit-exact by construction.
+    """
+    return {
+        "kind": event.kind.value,
+        "cycle": event.cycle,
+        "address": event.address,
+        "size": event.size,
+        "detail": {key: _jsonable(value)
+                   for key, value in sorted(event.detail.items())},
+    }
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _heap_map(allocator, limit):
+    blocks = sorted(allocator.live_allocations(),
+                    key=lambda a: (-a.size, a.address))
+    return {
+        "live_bytes": sum(block.size for block in blocks),
+        "live_blocks": len(blocks),
+        "total_allocs": allocator.total_allocs,
+        "total_frees": allocator.total_frees,
+        "peak_live_bytes": allocator.peak_live_bytes,
+        "truncated": max(0, len(blocks) - limit),
+        "allocations": [
+            {"address": block.address, "size": block.size,
+             "requested_size": block.requested_size}
+            for block in blocks[:limit]
+        ],
+    }
+
+
+def capture_bundle(machine, monitor=None, run_info=None, reason="manual",
+                   trigger=None, event_tail=EVENT_TAIL_LIMIT,
+                   heap_map_limit=HEAP_MAP_LIMIT, group_limit=GROUP_LIMIT):
+    """Freeze one machine (and its attached monitor) into a bundle dict.
+
+    ``run_info`` records how to re-drive the run (workload / monitor /
+    buggy / requests / seed / heap_size, plus an optional ``monitoring``
+    sub-dict with ``sample_every`` and serialized alert rules); without
+    it the bundle is inspectable but not replayable.
+    """
+    cycle = machine.clock.cycles
+    snapshot = machine.metrics.snapshot()
+    tracer = machine.tracer
+    kernel = machine.kernel
+    irq = kernel.interrupts
+    bundle = {
+        "schema": DUMP_SCHEMA,
+        "reason": reason,
+        "trigger": {key: _jsonable(value)
+                    for key, value in sorted((trigger or {}).items())},
+        "cycle": cycle,
+        "idle_cycles": machine.clock.idle_cycles,
+        "run": dict(run_info or {}),
+        "machine": dict(getattr(machine, "boot_config", {})),
+        "metrics": snapshot_document(snapshot),
+        "spans": {
+            "recent": [span.to_dict()
+                       for span in tracer.flight_record()],
+            "open": [span.to_dict() for span in tracer.active_spans()],
+            "panic": tracer.panic_dump,
+        },
+        "events": {
+            "total": len(machine.events),
+            "tail": [event_to_dict(event)
+                     for event in machine.events.query(limit=event_tail)],
+        },
+        "watches": [
+            {"vaddr": region.vaddr, "size": region.size,
+             "lines": [[vline, pline]
+                       for vline, pline in sorted(region.lines.items())]}
+            for region in sorted(kernel.watches.all_regions(),
+                                 key=lambda r: r.vaddr)
+        ],
+        "interrupts": {
+            "delivered": irq.delivered,
+            "panics": irq.panics,
+            "handler_registered": irq.user_handler is not None,
+            "ecc_traps": kernel.ecc_traps,
+            "pinned_pages": kernel.pinned_pages,
+        },
+        "heap": None,
+        "groups": [],
+    }
+    program = getattr(monitor, "program", None) if monitor is not None \
+        else None
+    if program is not None and getattr(program, "allocator", None) \
+            is not None:
+        bundle["heap"] = _heap_map(program.allocator, heap_map_limit)
+    leak = getattr(monitor, "leak", None) if monitor is not None else None
+    if leak is not None:
+        bundle["groups"] = group_stats(leak.groups, limit=group_limit,
+                                       now=cycle)
+    return bundle
+
+
+def write_bundle(bundle, path):
+    """Write a bundle to ``path`` as indented JSON; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as stream:
+        json.dump(bundle, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    return path
+
+
+def load_bundle(path):
+    """Load and schema-check one ``repro.dump/v1`` bundle."""
+    with open(path) as stream:
+        bundle = json.load(stream)
+    if not isinstance(bundle, dict) or bundle.get("schema") != DUMP_SCHEMA:
+        raise ConfigurationError(
+            f"{path}: not a {DUMP_SCHEMA} bundle "
+            f"(schema={bundle.get('schema') if isinstance(bundle, dict) else None!r})"
+        )
+    return bundle
+
+
+def _safe_label(label):
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", str(label)).strip("-") or "run"
+
+
+class ForensicRecorder:
+    """Automatic black-box capture bound to one machine.
+
+    Subscribes to the machine's event log and writes a bundle when a
+    kernel PANIC event fires (``on_panic``) and, optionally, when any
+    alert transitions to ``firing`` (``on_alert``, one bundle per rule
+    -- the first firing is the evidence; repeats of the same rule are
+    not re-dumped).  ``max_bundles`` bounds total disk output.
+    """
+
+    def __init__(self, machine, monitor=None, run_info=None,
+                 dump_dir="dumps", label="run", on_panic=True,
+                 on_alert=False, max_bundles=4,
+                 event_tail=EVENT_TAIL_LIMIT):
+        self.machine = machine
+        self.monitor = monitor
+        self.run_info = dict(run_info or {})
+        self.dump_dir = pathlib.Path(dump_dir)
+        self.label = _safe_label(label)
+        self.max_bundles = max_bundles
+        self.event_tail = event_tail
+        self.bundle_paths = []
+        self.bundles_skipped = 0
+        self._seen_alert_rules = set()
+        self._tokens = []
+        if on_panic:
+            self._tokens.append(machine.events.subscribe(
+                self._on_panic, kind=EventKind.PANIC))
+        if on_alert:
+            self._tokens.append(machine.events.subscribe(
+                self._on_alert, kind=EventKind.ALERT))
+
+    def _on_panic(self, event):
+        self.capture("panic", {
+            "reason": event.detail.get("reason"),
+            "address": event.address,
+        })
+
+    def _on_alert(self, event):
+        if event.detail.get("state") != "firing":
+            return
+        rule = event.detail.get("rule")
+        if rule in self._seen_alert_rules:
+            return
+        self._seen_alert_rules.add(rule)
+        self.capture("alert", {
+            "rule": rule,
+            "severity": event.detail.get("severity"),
+            "value": event.detail.get("value"),
+        })
+
+    def capture(self, reason="manual", trigger=None):
+        """Capture and write one bundle now; returns its path (or None
+        when ``max_bundles`` is exhausted -- counted, never silent)."""
+        if len(self.bundle_paths) >= self.max_bundles:
+            self.bundles_skipped += 1
+            return None
+        bundle = capture_bundle(
+            self.machine, monitor=self.monitor, run_info=self.run_info,
+            reason=reason, trigger=trigger, event_tail=self.event_tail,
+        )
+        path = self.dump_dir / (
+            f"{self.label}-{reason}-c{bundle['cycle']}"
+            f"-{len(self.bundle_paths)}.dump.json"
+        )
+        write_bundle(bundle, path)
+        self.bundle_paths.append(path)
+        return path
+
+    def detach(self):
+        """Unsubscribe from the machine (retained paths stay readable)."""
+        for token in self._tokens:
+            self.machine.events.unsubscribe(token)
+        self._tokens = []
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.detach()
+        return False
+
+
+# ----------------------------------------------------------------------
+# deterministic replay
+# ----------------------------------------------------------------------
+class ReplayBreak(ReproError):
+    """Control-flow exception: a replay breakpoint was reached."""
+
+
+def machine_from_config(config):
+    """Boot a fresh machine from a bundle's recorded ``machine`` dict."""
+    from repro.ecc.controller import EccMode
+    from repro.machine.machine import Machine
+    kwargs = dict(config or {})
+    mode = kwargs.get("ecc_mode")
+    if isinstance(mode, str):
+        kwargs["ecc_mode"] = EccMode(mode)
+    return Machine(**kwargs)
+
+
+def parse_breakpoint(text):
+    """``<event-kind|address>`` -> ``(kind, address)`` (one is None)."""
+    try:
+        return None, int(str(text), 0)
+    except ValueError:
+        pass
+    try:
+        return EventKind(str(text)), None
+    except ValueError:
+        kinds = ", ".join(kind.value for kind in EventKind)
+        raise ConfigurationError(
+            f"breakpoint {text!r} is neither an address nor an event "
+            f"kind (kinds: {kinds})"
+        ) from None
+
+
+@dataclass
+class ReplayResult:
+    """A finished (or broken) replay, live machine included."""
+
+    machine: object
+    monitor: object
+    program: object
+    #: GroundTruth when the workload ran to completion, else None.
+    truth: object
+    #: events recorded up to the break (the full log on a clean run).
+    events: list = field(default_factory=list)
+    broke: bool = False
+    break_cycle: int = 0
+    #: panic message when the replay re-panicked (full replays only).
+    panic: object = None
+
+
+def replay_bundle(bundle, until_cycle=None, break_on=None):
+    """Re-run a bundle's recorded workload from its seed, bit-exactly.
+
+    The bundle must carry ``run`` info (workload, monitor, seed...).
+    ``until_cycle`` breaks once the simulated clock reaches that cycle;
+    ``break_on`` breaks at the first matching event (an
+    :class:`~repro.common.events.EventKind` value or an address).  A
+    replay of a panicked run re-panics identically; the panic is
+    caught and reported on the result.
+    """
+    from repro.analysis.runner import HEAP_SIZE, make_monitor
+    from repro.machine.program import Program
+    from repro.workloads.registry import get_workload
+
+    run = dict(bundle.get("run") or {})
+    if "workload" not in run or "monitor" not in run:
+        raise ConfigurationError(
+            "bundle records no run (workload/monitor); it was captured "
+            "without run_info and cannot be replayed"
+        )
+    machine = machine_from_config(bundle.get("machine"))
+    monitor = make_monitor(run["monitor"])
+
+    # Recreate the monitoring stack the original run carried: the alert
+    # engine emits ALERT events, so leaving it out would change the
+    # replayed event stream.
+    sampler = None
+    monitoring = run.get("monitoring")
+    if monitoring:
+        from repro.obs.alerts import AlertEngine, AlertRule
+        from repro.obs.sampler import SamplingProfiler, leak_group_source
+        sampler = SamplingProfiler(
+            machine, interval_cycles=monitoring["sample_every"],
+            group_source=leak_group_source(monitor),
+        )
+        rules = [AlertRule.from_dict(spec)
+                 for spec in monitoring.get("rules", [])]
+        if rules:
+            engine = AlertEngine(rules, events=machine.events,
+                                 metrics=machine.metrics)
+            sampler.add_listener(engine.evaluate)
+        sampler.start()
+
+    state = {"break_index": None, "break_cycle": None}
+
+    def _break(cycle):
+        state["break_index"] = len(machine.events)
+        state["break_cycle"] = cycle
+        raise ReplayBreak(f"replay breakpoint at cycle {cycle}")
+
+    timer = None
+    tokens = []
+    if until_cycle is not None:
+        if until_cycle <= machine.clock.cycles:
+            raise ConfigurationError(
+                f"--until-cycle {until_cycle} is not in the future "
+                f"(replay starts at cycle {machine.clock.cycles})"
+            )
+
+        def _on_deadline(clock):
+            if clock.cycles >= until_cycle:
+                _break(clock.cycles)
+
+        timer = machine.clock.every(until_cycle - machine.clock.cycles,
+                                    _on_deadline)
+    if break_on is not None:
+        kind, address = parse_breakpoint(break_on)
+
+        def _on_event(event):
+            if address is not None and event.address != address:
+                return
+            _break(event.cycle)
+
+        tokens.append(machine.events.subscribe(_on_event, kind=kind))
+
+    truth = panic = None
+    try:
+        program = Program(machine, monitor=monitor,
+                          heap_size=run.get("heap_size", HEAP_SIZE))
+        workload = get_workload(run["workload"],
+                                requests=run.get("requests"),
+                                seed=run.get("seed", 0))
+        with machine.tracer.span(f"workload.{run['workload']}",
+                                 monitor=run["monitor"],
+                                 buggy=run.get("buggy", False)):
+            truth = workload.run(program, buggy=run.get("buggy", False))
+    except ReplayBreak:
+        pass
+    except MachinePanic as error:
+        panic = str(error)
+    except ReproError:
+        # A break raised mid-request can surface as a teardown error
+        # during unwind; the breakpoint state is already recorded.
+        if state["break_index"] is None:
+            raise
+    finally:
+        if sampler is not None:
+            sampler.stop()
+        if timer is not None:
+            machine.clock.cancel(timer)
+        for token in tokens:
+            machine.events.unsubscribe(token)
+
+    broke = state["break_index"] is not None
+    events = machine.events.query()
+    if broke:
+        events = events[:state["break_index"]]
+    return ReplayResult(
+        machine=machine,
+        monitor=monitor,
+        program=getattr(monitor, "program", None),
+        truth=truth,
+        events=events,
+        broke=broke,
+        break_cycle=(state["break_cycle"] if broke
+                     else machine.clock.cycles),
+        panic=panic,
+    )
+
+
+def verify_replay(bundle, result):
+    """Differential check: replayed events vs the bundle's tail.
+
+    Returns ``(ok, message)``.  The bundle stores the last
+    ``EVENT_TAIL_LIMIT`` events up to its capture point; a bit-exact
+    replay must reproduce exactly that suffix at the same position in
+    its stream.  When the replay broke *before* the capture point, the
+    comparison covers every event strictly below the break cycle (the
+    log is appended in non-decreasing cycle order, so that prefix is
+    complete on both sides).
+    """
+    recorded = bundle.get("events", {})
+    tail = recorded.get("tail", [])
+    total = recorded.get("total", len(tail))
+    replayed = [event_to_dict(event) for event in result.events]
+    if len(replayed) >= total:
+        expected = tail
+        got = replayed[:total]
+        scope = f"the {total}-event capture prefix"
+    else:
+        cutoff = result.break_cycle
+        expected = [record for record in tail if record["cycle"] < cutoff]
+        got = [record for record in replayed if record["cycle"] < cutoff]
+        scope = f"events below break cycle {cutoff}"
+    if not expected:
+        return True, f"nothing to compare in {scope}"
+    if len(got) < len(expected):
+        return False, (
+            f"replay produced {len(got)} event(s) in {scope}; the "
+            f"bundle recorded {len(expected)}"
+        )
+    window = got[-len(expected):]
+    for index, (want, have) in enumerate(zip(expected, window)):
+        if want != have:
+            return False, (
+                f"replay diverged at tail event {index}: recorded "
+                f"{want['kind']}@{want['cycle']} != replayed "
+                f"{have['kind']}@{have['cycle']}"
+            )
+    return True, (
+        f"{len(expected)} recorded event(s) matched bit-exactly in "
+        f"{scope}"
+    )
+
+
+# ----------------------------------------------------------------------
+# inspection
+# ----------------------------------------------------------------------
+def load_document(path):
+    """Load a bundle, a metrics snapshot, or an events stream.
+
+    Returns ``(kind, payload)`` where kind is ``"dump"``,
+    ``"metrics"``, or ``"stream"`` (a list of ``repro.events/v1``
+    records for JSONL streams).
+    """
+    from repro.obs.export import SCHEMA as METRICS_SCHEMA
+    from repro.obs.sink import EVENTS_SCHEMA, read_jsonl
+    path = pathlib.Path(path)
+    text = path.read_text()
+    try:
+        document = json.loads(text)
+    except ValueError:
+        document = None
+    if isinstance(document, dict):
+        schema = document.get("schema")
+        if schema == DUMP_SCHEMA:
+            return "dump", document
+        if schema == METRICS_SCHEMA:
+            return "metrics", document
+        if schema == EVENTS_SCHEMA:
+            # A one-record stream parses as a single JSON document.
+            return "stream", [document]
+        raise ConfigurationError(f"{path}: unknown schema {schema!r}")
+    records = read_jsonl(path)
+    if records and all(record.get("schema") == EVENTS_SCHEMA
+                       for record in records):
+        return "stream", records
+    raise ConfigurationError(
+        f"{path}: neither a JSON document nor a {EVENTS_SCHEMA} stream"
+    )
+
+
+def bundle_snapshot(bundle):
+    """The bundle's embedded metrics as a live Snapshot object."""
+    return snapshot_from_document(bundle["metrics"])
+
+
+def _fired_alerts(metrics):
+    """Rule names with a positive ``alerts.rule.<name>.fired`` counter."""
+    fired = []
+    for name, value in metrics.items():
+        match = re.fullmatch(r"alerts\.rule\.(.+)\.fired", name)
+        if match and value > 0:
+            fired.append(match.group(1))
+    return sorted(fired)
+
+
+def render_bundle_summary(bundle):
+    """The `repro inspect` headline view of one bundle."""
+    run = bundle.get("run") or {}
+    machine = bundle.get("machine") or {}
+    events = bundle.get("events") or {}
+    heap = bundle.get("heap")
+    lines = [
+        f"forensic bundle ({bundle['schema']}) -- reason: "
+        f"{bundle.get('reason', '?')}",
+    ]
+    trigger = bundle.get("trigger") or {}
+    if trigger:
+        rendered = ", ".join(f"{key}={value}"
+                             for key, value in sorted(trigger.items()))
+        lines.append(f"  trigger:   {rendered}")
+    lines.append(f"  cycle:     {bundle.get('cycle', 0):,} "
+                 f"(+{bundle.get('idle_cycles', 0):,} idle)")
+    if run:
+        monitoring = run.get("monitoring")
+        lines.append(
+            f"  run:       {run.get('workload', '?')}/"
+            f"{run.get('monitor', '?')} "
+            f"({'buggy' if run.get('buggy') else 'normal'} input, "
+            f"{run.get('requests', '?')} requests, "
+            f"seed {run.get('seed', '?')}"
+            + (f", sampled every {monitoring['sample_every']:,} cycles"
+               if monitoring else "")
+            + ")"
+        )
+    else:
+        lines.append("  run:       (not recorded; bundle is not "
+                     "replayable)")
+    if machine:
+        lines.append(
+            f"  machine:   {machine.get('dram_size', 0) >> 20} MiB DRAM, "
+            f"{machine.get('cache_size', 0) >> 10} KiB cache, "
+            f"ecc={machine.get('ecc_mode', '?')}"
+        )
+    lines.append(f"  events:    {events.get('total', 0):,} total, "
+                 f"{len(events.get('tail', []))} in tail")
+    watches = bundle.get("watches") or []
+    armed = sum(len(region["lines"]) for region in watches)
+    lines.append(f"  watches:   {len(watches)} region(s), "
+                 f"{armed} armed line(s)")
+    irq = bundle.get("interrupts") or {}
+    lines.append(
+        f"  interrupts: {irq.get('delivered', 0)} delivered, "
+        f"{irq.get('panics', 0)} panic(s), "
+        f"{irq.get('ecc_traps', 0)} ecc trap(s), handler "
+        f"{'registered' if irq.get('handler_registered') else 'absent'}"
+    )
+    if heap:
+        lines.append(
+            f"  heap:      {heap['live_bytes']:,} B live in "
+            f"{heap['live_blocks']} block(s) "
+            f"(peak {heap['peak_live_bytes']:,} B, "
+            f"{heap['total_allocs']} allocs / "
+            f"{heap['total_frees']} frees)"
+        )
+    groups = bundle.get("groups") or []
+    if groups:
+        top = groups[0]
+        lines.append(
+            f"  top group: size {top['size']} @ callsig "
+            f"{top['call_signature']:#x} -- {top['live_count']} live, "
+            f"{top['live_bytes']:,} B"
+        )
+    fired = _fired_alerts(bundle.get("metrics", {}).get("metrics", {}))
+    if fired:
+        lines.append("  alerts fired: " + ", ".join(fired))
+    panic = (bundle.get("spans") or {}).get("panic")
+    if panic:
+        lines.append(f"  panic:     {panic.get('reason')} @ cycle "
+                     f"{panic.get('cycle', 0):,}")
+    return "\n".join(lines)
+
+
+def render_bundle_groups(bundle, top=10):
+    """Leak-group lifetime table: the Figure 3 view from a bundle."""
+    groups = (bundle.get("groups") or [])[:top]
+    if not groups:
+        return "no allocation groups recorded"
+    lines = [
+        "allocation groups (largest live_bytes first):",
+        "  size  callsig      live      bytes    allocs     frees "
+        "max_life   stable",
+    ]
+    for group in groups:
+        lines.append(
+            f"  {group['size']:>4}  {group['call_signature']:#09x} "
+            f"{group['live_count']:>7} {group['live_bytes']:>10,} "
+            f"{group['total_allocated']:>9} {group['total_freed']:>9} "
+            f"{group['max_lifetime']:>8,} {group['stable_time']:>8,}"
+        )
+    return "\n".join(lines)
+
+
+def render_bundle_heap(bundle, top=10):
+    """Largest live heap blocks recorded in a bundle."""
+    heap = bundle.get("heap")
+    if not heap:
+        return "no heap map recorded (monitor had no attached program)"
+    lines = [
+        f"heap map: {heap['live_bytes']:,} B live in "
+        f"{heap['live_blocks']} block(s)"
+        + (f" ({heap['truncated']} truncated)" if heap["truncated"]
+           else ""),
+    ]
+    for block in heap["allocations"][:top]:
+        lines.append(f"  {block['address']:#010x}  {block['size']:>8,} B"
+                     f"  (requested {block['requested_size']:,})")
+    return "\n".join(lines)
+
+
+def render_bundle_events(bundle, kind=None, since_cycle=None, limit=20):
+    """Query the bundle's event tail the way `EventLog.query` would."""
+    records = bundle.get("events", {}).get("tail", [])
+    if kind is not None:
+        records = [r for r in records if r["kind"] == kind]
+    if since_cycle is not None:
+        records = [r for r in records if r["cycle"] >= since_cycle]
+    records = records[-limit:]
+    if not records:
+        return "no matching events in the recorded tail"
+    lines = []
+    for record in records:
+        extras = "".join(f" {key}={value}"
+                         for key, value in record["detail"].items())
+        addr = (f"{record['address']:#010x}"
+                if record["address"] is not None else "-")
+        lines.append(
+            f"[{record['cycle']:>12}] {record['kind']:<18}"
+            f" addr={addr} size={record['size']}{extras}"
+        )
+    return "\n".join(lines)
+
+
+def render_stream_summary(records):
+    """Summary of a ``repro.events/v1`` JSONL stream."""
+    by_type = {}
+    for record in records:
+        by_type[record["type"]] = by_type.get(record["type"], 0) + 1
+    cycles = [record["cycle"] for record in records]
+    lines = [
+        f"events stream: {len(records)} record(s), cycles "
+        f"{min(cycles):,} -> {max(cycles):,}" if records
+        else "events stream: empty",
+    ]
+    for record_type in sorted(by_type):
+        lines.append(f"  {record_type:<8} {by_type[record_type]}")
+    firing = [record["alert"]["rule"] for record in records
+              if record["type"] == "alert"
+              and record["alert"].get("state") == "firing"]
+    if firing:
+        lines.append("  alerts firing: " + ", ".join(sorted(set(firing))))
+    markers = [record["run"].get("marker") for record in records
+               if record["type"] == "run"]
+    if markers:
+        lines.append("  run markers: " + " -> ".join(str(m)
+                                                     for m in markers))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# diffing
+# ----------------------------------------------------------------------
+#: flattened-histogram suffixes (see repro.obs.metrics.flatten_histogram).
+_HISTOGRAM_SUFFIXES = (".count", ".sum", ".min", ".max",
+                       ".p50", ".p90", ".p99")
+
+
+def _metrics_of(document):
+    """``(values, kinds)`` of a bundle or a metrics document."""
+    schema = document.get("schema")
+    if schema == DUMP_SCHEMA:
+        document = document.get("metrics", {})
+        schema = document.get("schema")
+    from repro.obs.export import SCHEMA as METRICS_SCHEMA
+    if schema != METRICS_SCHEMA:
+        raise ConfigurationError(
+            f"cannot diff schema {schema!r}; expected {DUMP_SCHEMA} or "
+            f"{METRICS_SCHEMA}"
+        )
+    return document.get("metrics", {}), document.get("kinds", {})
+
+
+def _histogram_bases(names):
+    bases = set()
+    for name in names:
+        if name.endswith(".p50") and name[:-len(".p50")] + ".count" \
+                in names:
+            bases.add(name[:-len(".p50")])
+    return bases
+
+
+def diff_documents(a, b):
+    """Structured diff of two bundles / metrics documents (A -> B)."""
+    values_a, kinds_a = _metrics_of(a)
+    values_b, kinds_b = _metrics_of(b)
+    names = set(values_a) | set(values_b)
+    bases = _histogram_bases(names)
+
+    def is_histogram_key(name):
+        return any(name == base + suffix for base in bases
+                   for suffix in _HISTOGRAM_SUFFIXES)
+
+    counters, gauges = [], []
+    for name in sorted(names):
+        if is_histogram_key(name):
+            continue
+        kind = kinds_b.get(name) or kinds_a.get(name) or "gauge"
+        va = values_a.get(name)
+        vb = values_b.get(name)
+        if kind == "counter":
+            delta = (vb or 0) - (va or 0)
+            if delta or (name in values_b) != (name in values_a):
+                counters.append({"name": name, "a": va, "b": vb,
+                                 "delta": delta})
+        elif va != vb:
+            gauges.append({"name": name, "a": va, "b": vb})
+
+    histograms = []
+    for base in sorted(bases):
+        row = {"name": base}
+        changed = False
+        for suffix in (".count", ".p50", ".p90", ".p99"):
+            key = base + suffix
+            row[f"a{suffix}"] = values_a.get(key)
+            row[f"b{suffix}"] = values_b.get(key)
+            changed = changed or values_a.get(key) != values_b.get(key)
+        if changed:
+            histograms.append(row)
+
+    fired_a = set(_fired_alerts(values_a))
+    fired_b = set(_fired_alerts(values_b))
+    groups = []
+    if a.get("schema") == DUMP_SCHEMA and b.get("schema") == DUMP_SCHEMA:
+        rows_a = {(g["size"], g["call_signature"]): g
+                  for g in a.get("groups") or []}
+        rows_b = {(g["size"], g["call_signature"]): g
+                  for g in b.get("groups") or []}
+        for key in sorted(set(rows_a) | set(rows_b)):
+            live_a = rows_a.get(key, {}).get("live_bytes", 0)
+            live_b = rows_b.get(key, {}).get("live_bytes", 0)
+            if live_a != live_b:
+                groups.append({"size": key[0], "call_signature": key[1],
+                               "a": live_a, "b": live_b,
+                               "delta": live_b - live_a})
+        groups.sort(key=lambda row: -abs(row["delta"]))
+
+    return {
+        "cycle_a": _cycle_of(a),
+        "cycle_b": _cycle_of(b),
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+        "alerts": {
+            "appeared": sorted(fired_b - fired_a),
+            "disappeared": sorted(fired_a - fired_b),
+        },
+        "groups": groups,
+    }
+
+
+def _cycle_of(document):
+    if document.get("schema") == DUMP_SCHEMA:
+        return document.get("cycle", 0)
+    return document.get("generated", {}).get("cycle", 0)
+
+
+def _fmt(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:,.4f}"
+    return f"{value:,}"
+
+
+def render_diff(diff, limit=20):
+    """Human-readable rendering of :func:`diff_documents` output."""
+    lines = [f"diff A (cycle {diff['cycle_a']:,}) -> "
+             f"B (cycle {diff['cycle_b']:,})"]
+    if diff["counters"]:
+        lines.append(f"counters ({len(diff['counters'])} changed):")
+        for row in diff["counters"][:limit]:
+            lines.append(f"  {row['name']:<40} {_fmt(row['a']):>12} -> "
+                         f"{_fmt(row['b']):>12}  ({row['delta']:+,})")
+    if diff["gauges"]:
+        lines.append(f"gauges ({len(diff['gauges'])} changed):")
+        for row in diff["gauges"][:limit]:
+            lines.append(f"  {row['name']:<40} {_fmt(row['a']):>12} -> "
+                         f"{_fmt(row['b']):>12}")
+    if diff["histograms"]:
+        lines.append(f"histogram shift ({len(diff['histograms'])} "
+                     f"changed):")
+        for row in diff["histograms"][:limit]:
+            lines.append(
+                f"  {row['name']:<40} count {_fmt(row['a.count'])} -> "
+                f"{_fmt(row['b.count'])}, p50 {_fmt(row['a.p50'])} -> "
+                f"{_fmt(row['b.p50'])}, p99 {_fmt(row['a.p99'])} -> "
+                f"{_fmt(row['b.p99'])}"
+            )
+    alerts = diff["alerts"]
+    if alerts["appeared"]:
+        lines.append("alerts appeared: " + ", ".join(alerts["appeared"]))
+    if alerts["disappeared"]:
+        lines.append("alerts disappeared: "
+                     + ", ".join(alerts["disappeared"]))
+    if diff["groups"]:
+        lines.append("leak-group live_bytes shifts:")
+        for row in diff["groups"][:limit]:
+            lines.append(
+                f"  size {row['size']:>4} @ {row['call_signature']:#09x}"
+                f"  {row['a']:,} -> {row['b']:,}  ({row['delta']:+,})"
+            )
+    if len(lines) == 1:
+        lines.append("no differences")
+    return "\n".join(lines)

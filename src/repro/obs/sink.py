@@ -123,6 +123,13 @@ class MemorySink:
     def close(self):
         self.closed = True
 
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
     def __len__(self):
         return len(self.records)
 
@@ -191,9 +198,22 @@ class JsonlSink:
     def flush(self):
         self._stream.flush()
 
+    @property
+    def closed(self):
+        return self._stream.closed
+
     def close(self):
         if not self._stream.closed:
             self._stream.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        # Closing flushes, so a crash inside the ``with`` body still
+        # leaves every written record on disk as complete lines.
+        self.close()
+        return False
 
 
 def read_jsonl(path):
@@ -261,3 +281,14 @@ class TelemetryStream:
             self._engine.remove_listener(self._on_transition)
             self._engine = None
         self.sink.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        # Exception-safe teardown: detach subscriptions and close (and
+        # therefore flush) the sink even when the run inside the
+        # ``with`` body panics.  close() is idempotent, so an explicit
+        # close before the block exits is also fine.
+        self.close()
+        return False

@@ -29,6 +29,28 @@ class TestParser:
             build_parser().parse_args(["run", "gzip",
                                        "--monitor", "valgrind"])
 
+    def test_every_subcommand_has_working_help(self, capsys):
+        # Enumerate the registered subcommands from the parser itself
+        # so a new command cannot ship without --help coverage.
+        import argparse
+        parser = build_parser()
+        subactions = [action for action in parser._actions
+                      if isinstance(action,
+                                    argparse._SubParsersAction)]
+        assert len(subactions) == 1
+        commands = sorted(subactions[0].choices)
+        expected = {"stats", "validate", "fleet", "monitor", "replay",
+                    "inspect", "diff", "run", "list", "report",
+                    "figure3", "table2", "table3", "table4", "table5"}
+        assert expected <= set(commands)
+        for command in commands:
+            with pytest.raises(SystemExit) as exc_info:
+                parser.parse_args([command, "--help"])
+            assert exc_info.value.code == 0
+            help_text = capsys.readouterr().out
+            assert f"repro {command}" in help_text or command \
+                in help_text
+
 
 class TestCommands:
     def test_list(self):

@@ -87,6 +87,43 @@ def test_checker_flags_broken_markdown_link(tmp_path):
     ]
 
 
+def test_checker_flags_dangling_code_doc_anchor(tmp_path):
+    root = _fake_repo(
+        tmp_path, "repro.core\n\n## Reading metrics\n")
+    module = root / "src" / "repro" / "core" / "thing.py"
+    module.write_text(
+        'GOOD = "see docs/ARCHITECTURE.md#reading-metrics"\n'
+        'BAD = "see docs/ARCHITECTURE.md#no-such-section"\n'
+        'GONE = "see docs/MISSING.md#whatever"\n')
+    problems = docs_check.run_checks(root)
+    assert any("docs/ARCHITECTURE.md#no-such-section" in p
+               for p in problems)
+    assert any("docs/MISSING.md#whatever" in p for p in problems)
+    assert not any("reading-metrics" in p for p in problems)
+
+
+def test_checker_flags_dangling_markdown_anchor(tmp_path):
+    root = _fake_repo(
+        tmp_path, "repro.core\n\n## Real Section\n",
+        readme_text="[ok](docs/ARCHITECTURE.md#real-section) and "
+                    "[bad](docs/ARCHITECTURE.md#fake-section)\n")
+    problems = docs_check.run_checks(root)
+    assert problems == [
+        "README.md: dangling anchor -> "
+        "docs/ARCHITECTURE.md#fake-section"
+    ]
+
+
+def test_heading_slugger_matches_github_style():
+    anchors = docs_check.heading_anchors(
+        "# Top Level\n"
+        "## `repro.dump/v1` — forensic bundle\n"
+        "### A.B. (c, d) & e_f\n")
+    assert "top-level" in anchors
+    assert "reprodumpv1--forensic-bundle" in anchors
+    assert "ab-c-d--e_f" in anchors
+
+
 # ----------------------------------------------------------------------
 # the block renderer
 # ----------------------------------------------------------------------

@@ -17,7 +17,7 @@ import pathlib
 import pytest
 
 from repro.common.clock import VirtualClock
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, MachinePanic
 from repro.common.events import EventKind
 from repro.core.config import leak_only_config
 from repro.core.safemem import SafeMem
@@ -238,6 +238,30 @@ class TestSamplingProfiler:
         assert "watches" in panel
         assert "overhead" in panel
 
+    def test_overhead_fraction_zero_cycle_guard(self):
+        # A sample at cycle 0 (and the probe before any sample exists)
+        # must read 0.0, never divide by zero.
+        machine = _machine()
+        sampler = SamplingProfiler(machine, interval_cycles=100)
+        assert machine.metrics.value("sampler.overhead_fraction") == 0.0
+        sample = sampler.sample_now()
+        assert sample.cycle == 0
+        assert sample.overhead_fraction == 0.0
+        assert sample.metrics["sampler.overhead_fraction"] == 0.0
+        assert machine.metrics.value("sampler.overhead_fraction") == 0.0
+
+    def test_overhead_fraction_counts_monitoring_spans_only(self):
+        machine = _machine()
+        sampler = SamplingProfiler(machine, interval_cycles=100)
+        with machine.tracer.span("syscall.WatchMemory"):
+            machine.clock.tick(100)
+        with machine.tracer.span("workload.gzip"):
+            machine.clock.tick(900)
+        sample = sampler.sample_now()
+        assert sample.overhead_fraction == pytest.approx(0.1)
+        assert machine.metrics.value("sampler.overhead_fraction") == \
+            pytest.approx(0.1)
+
 
 def _sample(cycle, metrics):
     return Sample(index=0, cycle=cycle, metrics=metrics, spans=[],
@@ -330,6 +354,19 @@ class TestAlertEngine:
         assert fired[0].value == pytest.approx(10.0)
         done = engine.evaluate(_sample(3_000_000, {"count": 110}))
         assert done[0].state == "resolved"
+
+    def test_rate_rule_same_cycle_samples_never_divide_by_zero(self):
+        # Two samples at the same cycle (a manual sample_now right at a
+        # timer tick) hit the elapsed==0 guard: no crash, no fire.
+        rule = AlertRule("growth", "count", kind="rate", op=">",
+                        value=5.0, for_samples=1, resolve_after=1)
+        engine = AlertEngine([rule])
+        assert engine.evaluate(_sample(1_000, {"count": 100})) == []
+        assert engine.evaluate(_sample(1_000, {"count": 900})) == []
+        assert engine.alerts["growth"].state == "ok"
+        # normal progress afterwards still evaluates correctly.
+        fired = engine.evaluate(_sample(1_001_000, {"count": 910}))
+        assert fired[0].state == "firing"
 
     def test_absence_rule_fires_on_missing_or_stalled(self):
         rule = AlertRule("stall", "progress", kind="absence",
@@ -426,6 +463,23 @@ class TestJsonlSink:
         with pytest.raises(ConfigurationError):
             JsonlSink(tmp_path / "x.jsonl", max_files=0)
 
+    def test_context_manager_closes_even_on_error(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with pytest.raises(RuntimeError):
+            with JsonlSink(path) as sink:
+                sink.write({"schema": EVENTS_SCHEMA, "type": "run",
+                            "cycle": 0})
+                raise RuntimeError("boom")
+        assert sink.closed
+        assert [r["cycle"] for r in read_jsonl(path)] == [0]
+
+    def test_memory_sink_context_manager(self):
+        with MemorySink() as sink:
+            sink.write({"schema": EVENTS_SCHEMA, "type": "run",
+                        "cycle": 0})
+        assert sink.closed
+        assert len(sink.records) == 1
+
 
 class TestTelemetryStream:
     def test_streams_samples_alerts_and_events(self):
@@ -473,6 +527,39 @@ class TestTelemetryStream:
         machine.events.emit(EventKind.LEAK_REPORT)
         sampler.sample_now()
         assert sink.records == []
+
+    def test_mid_run_crash_leaves_valid_stream_file(self, tmp_path):
+        # Satellite guarantee: a machine panic mid-run must not corrupt
+        # the on-disk stream -- every line already written stays a
+        # complete repro.events/v1 record, and nothing leaks in after
+        # the crash.
+        path = tmp_path / "crash.jsonl"
+        machine = _machine()
+        sampler = SamplingProfiler(machine, interval_cycles=100)
+        with pytest.raises(MachinePanic):
+            with TelemetryStream(JsonlSink(path), machine=machine,
+                                 sampler=sampler) as stream:
+                stream.mark(0, marker="start")
+                sampler.sample_now()
+                machine.events.emit(EventKind.LEAK_REPORT,
+                                    address=0x40)
+                raise MachinePanic("simulated crash")
+        records = read_jsonl(path)
+        assert [r["type"] for r in records] == ["run", "sample",
+                                                "event"]
+        assert all(r["schema"] == EVENTS_SCHEMA for r in records)
+        # the stream detached on exit: post-crash events don't append.
+        machine.events.emit(EventKind.LEAK_REPORT)
+        sampler.sample_now()
+        assert len(read_jsonl(path)) == len(records)
+
+    def test_stream_context_manager_closes_sink(self):
+        machine = _machine()
+        sink = MemorySink()
+        with TelemetryStream(sink, machine=machine):
+            machine.events.emit(EventKind.LEAK_REPORT)
+        assert sink.closed
+        assert len(sink.of_type("event")) == 1
 
 
 # ----------------------------------------------------------------------

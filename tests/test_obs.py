@@ -506,6 +506,18 @@ class TestMergeHistogramEdgeCases:
         assert merged.cycle == 0
         assert merged.values == {}
 
+    def test_zero_cycle_machines_merge_cleanly(self):
+        # Machines that never ticked (cycle 0, no samples) are the
+        # empty edge of a fleet merge: counters stay 0, nothing raises.
+        from repro.obs.merge import dump_registry, merge_dumps
+        machines = [Machine(dram_size=8 * 1024 * 1024)
+                    for _ in range(2)]
+        merged = merge_dumps([dump_registry(machine.metrics)
+                              for machine in machines])
+        assert merged.cycle == 0
+        assert merged["machine.load.fast"] == 0
+        assert merged["machine.events"] == 0
+
     def test_mixed_empty_and_populated_workers(self):
         from repro.obs.merge import merge_dumps
         merged = merge_dumps([

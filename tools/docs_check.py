@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Docs consistency checker (run in tier-1 via tests/test_docs.py).
 
-Three checks keep the documentation layer from drifting away from the
+Five checks keep the documentation layer from drifting away from the
 code layout:
 
 1. every ``repro.<pkg>`` named in ``docs/ARCHITECTURE.md`` exists as a
@@ -9,7 +9,12 @@ code layout:
 2. every subpackage under ``src/repro`` is mentioned in
    ``docs/ARCHITECTURE.md`` (no undocumented subsystem);
 3. every intra-repo markdown link in the repo's ``*.md`` files resolves
-   to an existing file (anchors and external URLs are skipped).
+   to an existing file (external URLs are skipped);
+4. every ``docs/<file>.md#<anchor>`` reference embedded in Python
+   source (deprecation messages, error hints) points to a real heading
+   in that file;
+5. every cross-file ``*.md#<anchor>`` markdown link points to a real
+   heading in the target file.
 
 Exit status is non-zero when any check fails, so the script can run as
 a pre-commit hook: ``python tools/docs_check.py``.
@@ -26,6 +31,8 @@ DOC_GLOBS = ("*.md", "docs/*.md")
 
 _PKG_REF = re.compile(r"\brepro\.([a-z_]+)\b")
 _MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.MULTILINE)
+_CODE_DOC_REF = re.compile(r"docs/([A-Za-z_]+\.md)#([A-Za-z0-9_-]+)")
 
 
 def package_references(architecture_text):
@@ -96,9 +103,63 @@ def check_markdown_links(root=REPO_ROOT):
     return problems
 
 
+def heading_anchors(text):
+    """GitHub-style anchor slugs for every heading in a markdown file."""
+    anchors = set()
+    for title in _HEADING.findall(text):
+        title = title.replace("`", "")
+        slug = re.sub(r"[^\w\- ]", "", title.lower()).strip()
+        anchors.add(slug.replace(" ", "-"))
+    return anchors
+
+
+def _anchor_exists(root, doc_name, anchor):
+    path = root / "docs" / doc_name
+    if not path.is_file():
+        return False
+    return anchor in heading_anchors(path.read_text())
+
+
+def check_code_doc_anchors(root=REPO_ROOT):
+    """Check 4: docs/<file>.md#<anchor> references in Python source."""
+    problems = []
+    for path in sorted((root / "src").rglob("*.py")):
+        for doc_name, anchor in _CODE_DOC_REF.findall(path.read_text()):
+            if not _anchor_exists(root, doc_name, anchor):
+                problems.append(
+                    f"{path.relative_to(root)}: dangling doc anchor "
+                    f"-> docs/{doc_name}#{anchor}"
+                )
+    return problems
+
+
+def check_markdown_anchors(root=REPO_ROOT):
+    """Check 5: cross-file ``*.md#anchor`` links hit real headings."""
+    problems = []
+    for path in markdown_files(root):
+        for target in _MD_LINK.findall(path.read_text()):
+            if target.startswith(("http://", "https://", "mailto:",
+                                  "#")):
+                continue
+            if "#" not in target:
+                continue
+            file_part, anchor = target.split("#", 1)
+            resolved = (path.parent / file_part).resolve()
+            if not (resolved.is_file() and resolved.suffix == ".md"):
+                continue  # missing files are check 3's problem
+            if anchor not in heading_anchors(resolved.read_text()):
+                problems.append(
+                    f"{path.relative_to(root)}: dangling anchor "
+                    f"-> {target}"
+                )
+    return problems
+
+
 def run_checks(root=REPO_ROOT):
     return check_architecture_references(root) + \
-        check_markdown_links(root)
+        check_markdown_links(root) + \
+        check_code_doc_anchors(root) + \
+        check_markdown_anchors(root)
 
 
 def main():

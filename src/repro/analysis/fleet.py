@@ -30,6 +30,7 @@ describes machines that actually ran, so a fully-cached validation
 reports no telemetry rather than stale telemetry.
 """
 
+import atexit
 import functools
 import hashlib
 import json
@@ -317,6 +318,36 @@ class ResultCache:
 # ----------------------------------------------------------------------
 # Execution: one job per task, in-process or over a worker pool
 # ----------------------------------------------------------------------
+#: The persistent warm pool.  Spawning a fresh Pool per run_jobs call
+#: was costing more than the sharding won back (BENCH_fleet.json once
+#: recorded --jobs 4 at 0.34x serial); workers are now spawned once and
+#: reused for every subsequent fan-out of the same width.
+_POOL = None
+_POOL_WORKERS = 0
+
+
+def _warm_pool(workers):
+    """Return the shared pool, (re)creating it only on a width change."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS != workers:
+        shutdown_pool()
+    if _POOL is None:
+        _POOL = multiprocessing.Pool(processes=workers)
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def shutdown_pool():
+    """Tear down the warm pool (atexit hook; also a test seam)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.terminate()
+        _POOL.join()
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_pool)
 def _execute_job(spec, dump_dir=None, dump_on_alert=False):
     """Run one job; returns (ident, payload, dumps, bundles, error).
 
@@ -447,16 +478,25 @@ def run_jobs(specs, jobs=None, cache=None, dump_dir=None,
     dumps = []
     bundles = []
     failures = {}
-    workers = min(jobs, len(pending)) or 1
+    # Effective parallelism: never more workers than shards, and never
+    # more than CPUs -- oversubscribing a small box just pays spawn and
+    # scheduling cost to lose to serial.  A fan-out that degenerates to
+    # one worker (or one shard, where a worker round-trip can't beat
+    # the spawn cost) runs in-process instead; the payloads still
+    # round-trip the codec, so the results cannot diverge.
+    workers = min(jobs, len(pending), os.cpu_count() or 1) or 1
     execute = functools.partial(_execute_job, dump_dir=dump_dir,
                                 dump_on_alert=dump_on_alert)
     if pending:
-        if workers > 1:
-            with multiprocessing.Pool(processes=workers) as pool:
-                outcomes = pool.imap_unordered(execute, pending,
-                                               chunksize=1)
-                outcomes = list(outcomes)
+        if workers > 1 and len(pending) > 1:
+            pool = _warm_pool(workers)
+            # Job-size-aware dispatch: a few round trips per worker
+            # amortizes IPC without starving the tail.
+            chunksize = max(1, len(pending) // (workers * 4))
+            outcomes = list(pool.imap_unordered(execute, pending,
+                                                chunksize=chunksize))
         else:
+            workers = 1
             outcomes = [execute(spec) for spec in pending]
         by_ident = {spec[1]: spec for spec in pending}
         for ident, payload, job_dumps, job_bundles, error in outcomes:

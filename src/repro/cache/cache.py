@@ -148,6 +148,123 @@ class Cache:
         return True
 
     # ------------------------------------------------------------------
+    # span access path (machine batch engine)
+    # ------------------------------------------------------------------
+    def load_span(self, paddr, size):
+        """Read ``size`` bytes, amortizing per-line Python overhead.
+
+        Simulation-equivalent to :meth:`load`: identical hit/miss/LRU
+        bookkeeping and cycle charges, applied in the same order.  The
+        only liberty taken is batching the ``cache_hit`` charges of
+        consecutive hits into one ``clock.tick`` -- legal while no
+        timers are armed (checked up front and after every miss);
+        otherwise each hit charges inline exactly like :meth:`load`.
+        Any miss flushes the batched state first and goes through
+        :meth:`_access_line`, so fills, evictions, write-backs, and
+        ECC faults behave identically to the scalar path.
+        """
+        if size < 0:
+            raise ConfigurationError(f"negative access size: {size}")
+        sets = self._sets
+        num_sets = self.num_sets
+        clock = self.clock
+        charging = clock is not None and self.cost_model is not None
+        hit_cost = self.cost_model.cache_hit if charging else 0
+        defer = charging and clock.timer_count == 0
+        tick = self._tick
+        hits = 0
+        pending = 0
+        out = bytearray()
+        cursor = paddr
+        remaining = size
+        while remaining > 0:
+            base = cursor - (cursor % CACHE_LINE_SIZE)
+            take = min(remaining, base + CACHE_LINE_SIZE - cursor)
+            line = sets[(base // CACHE_LINE_SIZE) % num_sets].get(base)
+            if line is None:
+                # Miss: restore exact cache/clock state, then take the
+                # one true fill path (an armed line raises out of it
+                # with all accumulated state already applied).
+                self._tick = tick
+                self.hits += hits
+                hits = 0
+                if pending:
+                    clock.tick(pending)
+                    pending = 0
+                line = self._access_line(base, for_write=False)
+                tick = self._tick
+                defer = charging and clock.timer_count == 0
+            else:
+                tick += 1
+                hits += 1
+                line.stamp = tick
+                if defer:
+                    pending += hit_cost
+                elif charging:
+                    clock.tick(hit_cost)
+            offset = cursor - base
+            out += line.data[offset:offset + take]
+            cursor += take
+            remaining -= take
+        self._tick = tick
+        self.hits += hits
+        if pending:
+            clock.tick(pending)
+        return bytes(out)
+
+    def store_span(self, paddr, data):
+        """Write ``data`` at ``paddr``; span twin of :meth:`store`.
+
+        Same equivalence contract as :meth:`load_span` (write-allocate
+        misses go through :meth:`_access_line` with flushed state).
+        ``data`` may be any buffer, including a memoryview.
+        """
+        sets = self._sets
+        num_sets = self.num_sets
+        clock = self.clock
+        charging = clock is not None and self.cost_model is not None
+        hit_cost = self.cost_model.cache_hit if charging else 0
+        defer = charging and clock.timer_count == 0
+        tick = self._tick
+        hits = 0
+        pending = 0
+        position = 0
+        cursor = paddr
+        remaining = len(data)
+        while remaining > 0:
+            base = cursor - (cursor % CACHE_LINE_SIZE)
+            take = min(remaining, base + CACHE_LINE_SIZE - cursor)
+            line = sets[(base // CACHE_LINE_SIZE) % num_sets].get(base)
+            if line is None:
+                self._tick = tick
+                self.hits += hits
+                hits = 0
+                if pending:
+                    clock.tick(pending)
+                    pending = 0
+                line = self._access_line(base, for_write=True)
+                tick = self._tick
+                defer = charging and clock.timer_count == 0
+            else:
+                tick += 1
+                hits += 1
+                line.stamp = tick
+                if defer:
+                    pending += hit_cost
+                elif charging:
+                    clock.tick(hit_cost)
+            offset = cursor - base
+            line.data[offset:offset + take] = data[position:position + take]
+            line.dirty = True
+            position += take
+            cursor += take
+            remaining -= take
+        self._tick = tick
+        self.hits += hits
+        if pending:
+            clock.tick(pending)
+
+    # ------------------------------------------------------------------
     # maintenance operations
     # ------------------------------------------------------------------
     def flush_line(self, paddr):

@@ -65,6 +65,14 @@ class CacheHierarchy:
     def store(self, paddr, data):
         self.l1.store(paddr, data)
 
+    def load_span(self, paddr, size):
+        """Span read through L1 (L1 misses fill from L2 as usual)."""
+        return self.l1.load_span(paddr, size)
+
+    def store_span(self, paddr, data):
+        """Span write through L1, write-allocate like :meth:`store`."""
+        self.l1.store_span(paddr, data)
+
     def fast_read(self, paddr, size):
         """Short-circuit read: L1-resident lines only (else ``None``)."""
         return self.l1.fast_read(paddr, size)

@@ -265,6 +265,11 @@ class AlertEngine:
         rule = alert.rule
         present = rule.metric in sample.metrics
         value = sample.metrics.get(rule.metric, 0)
+        if value is None:
+            # Null histogram gauges (empty window) carry no reading:
+            # treat like a missing metric rather than comparing None.
+            present = False
+            value = 0
         alert.last_value = value
         # _judge overrides last_value with the computed rate for rate
         # rules, so the published transition carries the judged number.

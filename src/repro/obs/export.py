@@ -97,7 +97,10 @@ def render_metrics_table(snapshot, title="machine metrics",
     rows = []
     for name in sorted(values):
         value = values[name]
-        if isinstance(value, float):
+        if value is None:
+            # Null histogram gauges: no observations in this window.
+            rendered = "-"
+        elif isinstance(value, float):
             rendered = f"{value:,.4f}"
         else:
             rendered = f"{value:,}"

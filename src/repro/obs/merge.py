@@ -96,7 +96,8 @@ def merge_dumps(dumps):
         # with its full flattened key set) but may observe nothing, or
         # exactly one value.  Pre-sorting keeps the percentile pass
         # from re-sorting inside flatten_histogram; an empty union
-        # flattens to all-zero keys rather than being dropped.
+        # keeps zero count/sum counters while its min/max/percentile
+        # gauges flatten to None (no observations -> no statistics).
         merged = Histogram(name)
         for value in sorted(observations[name]):
             merged.observe(value)

@@ -148,19 +148,32 @@ class _Probe:
 def flatten_histogram(histogram, values, kinds):
     """Flatten one histogram into snapshot keys (shared by
     :meth:`MetricsRegistry.snapshot` and the cross-process merge, so
-    both produce byte-identical key sets)."""
+    both produce byte-identical key sets).
+
+    An empty histogram keeps ``count``/``sum`` at 0 (counters must
+    stay numeric so deltas subtract) but reports the statistical
+    gauges as ``None``: a min or percentile of zero observations is
+    not 0, and rendering it as one made empty-window snapshots carry
+    phantom values (exporters render None as ``-``)."""
     name = histogram.name
+    empty = histogram.count == 0
     values[f"{name}.count"] = histogram.count
     values[f"{name}.sum"] = histogram.sum
     kinds[f"{name}.count"] = "counter"
     kinds[f"{name}.sum"] = "counter"
-    values[f"{name}.min"] = histogram.min
-    values[f"{name}.max"] = histogram.max
+    values[f"{name}.min"] = None if empty else histogram.min
+    values[f"{name}.max"] = None if empty else histogram.max
     kinds[f"{name}.min"] = "gauge"
     kinds[f"{name}.max"] = "gauge"
     for p in HISTOGRAM_PERCENTILES:
-        values[f"{name}.p{p}"] = histogram.percentile(p)
+        values[f"{name}.p{p}"] = None if empty else histogram.percentile(p)
         kinds[f"{name}.p{p}"] = "gauge"
+
+
+#: flat-key suffixes of the per-histogram statistical gauges.
+HISTOGRAM_GAUGE_SUFFIXES = (".min", ".max") + tuple(
+    f".p{p}" for p in HISTOGRAM_PERCENTILES
+)
 
 
 class Snapshot:
@@ -207,11 +220,24 @@ class Snapshot:
         registered only after ``earlier`` count from zero.
         """
         values = {}
+        kinds = self.kinds
         for name, value in self.values.items():
-            if self.kinds.get(name) == "counter":
+            if kinds.get(name) == "counter":
                 values[name] = value - earlier.values.get(name, 0)
             else:
                 values[name] = value
+        # A histogram's min/max/percentile gauges describe its
+        # observations; a window in which it recorded nothing (delta
+        # count == 0) has no observations, so carrying the whole-run
+        # statistics forward would report stale values for the window.
+        for name in values:
+            if not name.endswith(HISTOGRAM_GAUGE_SUFFIXES):
+                continue
+            count_key = f"{name.rsplit('.', 1)[0]}.count"
+            if (kinds.get(name) == "gauge"
+                    and kinds.get(count_key) == "counter"
+                    and values.get(count_key) == 0):
+                values[name] = None
         return Snapshot(self.cycle, values, dict(self.kinds),
                         since_cycle=earlier.cycle)
 

@@ -34,6 +34,10 @@ class GroundTruth:
     #: the MonitorError raised by the attached tool, if any.
     detection: MonitorError = None
     requests_completed: int = 0
+    #: cumulative CPU cycles after each completed request.  Purely
+    #: cycle-derived (the simulated clock), so identical across serial
+    #: and sharded runs; steady-state overhead analysis reads these.
+    cycle_marks: list = field(default_factory=list)
 
     @property
     def corruption_detected(self):
@@ -76,6 +80,7 @@ class Workload:
             for index in range(self.requests):
                 self.handle_request(program, index, buggy, truth)
                 truth.requests_completed = index + 1
+                truth.cycle_marks.append(program.cpu_time)
         except MonitorError as error:
             truth.detection = error
         finally:

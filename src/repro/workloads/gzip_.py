@@ -35,28 +35,33 @@ class Gzip(Workload):
         with program.frame(INPUT_SITE):
             self.input_buffer = program.malloc(self.block_size)
         program.set_global(0, self.input_buffer)
+        self._input_block = b"\x42" * self.block_size
+        self._output_block = b"\xab" * self.block_size
 
     def handle_request(self, program, index, buggy, truth):
-        # Read the next input block.
-        program.store(self.input_buffer, b"\x42" * self.block_size)
+        # Read the next input block (a bulk op: one plan, one call).
+        program.run_ops([("store", self.input_buffer, self._input_block)])
 
         # Allocate this block's output buffer.
         with program.frame(OUTPUT_SITE):
             output = program.malloc(self.block_size)
         program.set_global(60, output)
 
-        # The compression loop.
+        # The compression loop: re-read the input, emit the output.
+        # Emitted as one access plan so the machine's batched engine
+        # moves whole blocks per call; op order matches the former
+        # scalar sequence exactly.
         program.compute(self.compute_per_block)
-        program.load(self.input_buffer, self.block_size)
-
+        plan = [
+            ("load", self.input_buffer, self.block_size),
+            ("store", output, self._output_block),
+        ]
         crafted = buggy and index == self.trigger_block
         if crafted:
             # THE BUG: the crafted block expands by one byte.
             truth.corruption = ("overflow", output + self.block_size)
-            fill(program, output, self.block_size)
-            program.store(output + self.block_size, b"!")
-        else:
-            fill(program, output, self.block_size)
+            plan.append(("store", output + self.block_size, b"!"))
+        program.run_ops(plan)
 
         program.free(output)
         program.set_global(60, 0)

@@ -33,6 +33,7 @@ class Tar(Workload):
         with program.frame(COPY_SITE):
             self.copy_buffer = program.malloc(self.copy_chunk)
         program.set_global(0, self.copy_buffer)
+        self._body_chunk = b"\x24" * self.copy_chunk
 
     def handle_request(self, program, index, buggy, truth):
         # Member header block.
@@ -41,9 +42,12 @@ class Tar(Workload):
         fill(program, header, 512)
         program.set_global(60, header)
 
-        # Stream the member body through the reused buffer.
-        program.store(self.copy_buffer, b"\x24" * self.copy_chunk)
-        program.load(self.copy_buffer, self.copy_chunk)
+        # Stream the member body through the reused buffer -- one
+        # bulk access plan (same op order as the former scalar pair).
+        program.run_ops([
+            ("store", self.copy_buffer, self._body_chunk),
+            ("load", self.copy_buffer, self.copy_chunk),
+        ])
         program.compute(self.compute_per_file)
 
         program.free(header)

@@ -330,6 +330,16 @@ class TestAlertEngine:
         assert done[0].state == "resolved"
         assert engine.summary()["hot"] == (1, 1, "ok")
 
+    def test_null_metric_value_is_treated_as_absent(self):
+        # Empty-window histogram gauges flatten to None; comparing
+        # None would TypeError (and a phantom breach would be worse).
+        rule = AlertRule("hot", "span.op.cycles.p99", kind="threshold",
+                         op=">", value=10, for_samples=1)
+        engine = AlertEngine([rule])
+        assert engine.evaluate(
+            _sample(1, {"span.op.cycles.p99": None})) == []
+        assert engine.alerts["hot"].state == "ok"
+
     def test_debounce_needs_consecutive_breaches(self):
         rule = AlertRule("hot", "temp", value=10, for_samples=3)
         engine = AlertEngine([rule])

@@ -130,6 +130,43 @@ class TestSnapshotDelta:
         assert snapshot.kinds["h.count"] == "counter"
         assert snapshot.kinds["h.p99"] == "gauge"
 
+    def test_empty_histogram_flattens_to_null_gauges(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        snapshot = registry.snapshot()
+        assert snapshot["h.count"] == 0
+        assert snapshot["h.sum"] == 0
+        for suffix in ("min", "max", "p50", "p90", "p99"):
+            assert snapshot[f"h.{suffix}"] is None, suffix
+
+    def test_empty_window_nulls_histogram_gauges(self):
+        # Regression: a windowed snapshot whose histogram count is 0
+        # used to carry the whole-run min/max/percentiles (stale
+        # statistics for observations outside the window).
+        registry = MetricsRegistry()
+        hist = registry.histogram("span.op.cycles")
+        for value in (10, 20, 30):
+            hist.observe(value)
+        start = registry.snapshot()
+        window = registry.snapshot() - start
+        assert window["span.op.cycles.count"] == 0
+        for suffix in ("min", "max", "p50", "p90", "p99"):
+            assert window[f"span.op.cycles.{suffix}"] is None, suffix
+        # A window with observations keeps real (current) statistics.
+        hist.observe(40)
+        window = registry.snapshot() - start
+        assert window["span.op.cycles.count"] == 1
+        assert window["span.op.cycles.max"] == 40
+
+    def test_null_gauges_render_as_dash(self):
+        from repro.obs.export import render_metrics_table
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        text = render_metrics_table(registry.snapshot())
+        line = next(row for row in text.splitlines()
+                    if row.startswith("h.max"))
+        assert "-" in line
+
 
 class TestHistogramPercentiles:
     def test_nearest_rank(self):
@@ -484,12 +521,16 @@ class TestMergeHistogramEdgeCases:
             histogram.observe(value)
         return dump_registry(registry)
 
-    def test_empty_histogram_survives_merge_with_zero_keys(self):
+    def test_empty_histogram_survives_merge_with_null_gauges(self):
         from repro.obs.merge import merge_dumps
         merged = merge_dumps([self._dump(), self._dump()])
-        for suffix in ("count", "sum", "min", "max", "p50", "p90",
-                       "p99"):
-            assert merged[f"span.op.cycles.{suffix}"] == 0, suffix
+        # Counters must stay numeric (deltas subtract them) ...
+        assert merged["span.op.cycles.count"] == 0
+        assert merged["span.op.cycles.sum"] == 0
+        # ... but zero observations have no statistics: the gauges are
+        # None, not a phantom 0.
+        for suffix in ("min", "max", "p50", "p90", "p99"):
+            assert merged[f"span.op.cycles.{suffix}"] is None, suffix
 
     def test_single_observation_union(self):
         from repro.obs.merge import merge_dumps

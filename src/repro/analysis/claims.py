@@ -114,6 +114,32 @@ def _t5_true_leaks(context):
         if missing else "every leak app's bug reported"
 
 
+def _f4_sampling(context):
+    curve = context["sampling"]
+    probs = [p.detection_probability for p in curve.points]
+    if curve.point(0.0).detection_probability != 0.0:
+        return False, "rate 0.0 detected something"
+    if curve.point(1.0).detection_probability != 1.0:
+        return False, (f"always-on fleet only detects "
+                       f"{curve.point(1.0).detection_probability:.2f}")
+    if any(a > b + 1e-9 for a, b in zip(probs, probs[1:])):
+        return False, (f"detection probability not non-decreasing "
+                       f"in rate: {probs}")
+    sparse = min((p for p in curve.points if p.rate > 0),
+                 key=lambda p: p.rate)
+    full = curve.point(1.0)
+    if sparse.mean_overhead_pct is None or full.mean_overhead_pct is None:
+        return False, "missing overhead measurements"
+    if sparse.mean_overhead_pct >= full.mean_overhead_pct / 4:
+        return False, (f"rate {sparse.rate:g} overhead "
+                       f"{sparse.mean_overhead_pct:.2f}% is not <1/4 "
+                       f"of always-on {full.mean_overhead_pct:.2f}%")
+    return True, (f"probability rises {probs[0]:.2f}->{probs[-1]:.2f} "
+                  f"with rate; rate {sparse.rate:g} costs "
+                  f"{sparse.mean_overhead_pct:.2f}% vs always-on "
+                  f"{full.mean_overhead_pct:.2f}%")
+
+
 def _f3_stability(context):
     for series in context["figure3"].series:
         run_s = context["figure3"].run_seconds[series.workload]
@@ -147,17 +173,23 @@ CLAIMS = [
           _t5_true_leaks, "table5"),
     Claim("F3-stability", "group maximal lifetimes stabilize early",
           _f3_stability, "figure3"),
+    Claim("F4-sampling", "fleet sampling trades detection probability "
+          "for overhead", _f4_sampling, "sampling"),
 ]
 
 
 def gather_context(requests=250):
     """Run every experiment once; claims share the results."""
+    # Late import: the fleet scheduler lazily imports this module in
+    # run_validation, so importing it eagerly here would be circular.
+    from repro.analysis.fleet import experiment_sampling_curve
     return {
         "table2": experiment_table2(),
         "table3": experiment_table3(requests=requests),
         "table4": experiment_table4(requests=requests),
         "table5": experiment_table5(),
         "figure3": experiment_figure3(),
+        "sampling": experiment_sampling_curve(),
     }
 
 

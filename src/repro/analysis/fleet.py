@@ -37,6 +37,7 @@ import json
 import multiprocessing
 import os
 import pathlib
+import warnings
 from dataclasses import asdict, dataclass, field
 
 from repro.analysis.experiments import (
@@ -57,11 +58,8 @@ from repro.analysis.experiments import (
     table5_row,
 )
 from repro.analysis.runner import (
-    CACHE_SIZE,
-    DRAM_SIZE,
     add_boot_tap,
     add_run_tap,
-    make_monitor,
     overhead_percent,
     remove_boot_tap,
     remove_run_tap,
@@ -73,8 +71,15 @@ from repro.common.errors import (
     FleetError,
     MachinePanic,
 )
+from repro.core.sampling import SamplingPolicy
 from repro.obs.merge import dump_registry, merge_dumps
-from repro.workloads.registry import LEAK_WORKLOADS, all_workload_names
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.stack import MonitorStackConfig, build_monitor_stack
+from repro.workloads.registry import (
+    LEAK_WORKLOADS,
+    WORKLOADS,
+    all_workload_names,
+)
 
 CACHE_SCHEMA = "repro.fleet-cache/v1"
 
@@ -109,35 +114,68 @@ class _JobKind:
     decode: object   # JSON-able dict -> payload object
 
 
+def _machine_stack_config(params):
+    """The machine's :class:`MonitorStackConfig`, new or legacy params.
+
+    New-style fleet params carry a ``stack`` dict (the per-machine
+    config, sampling seed already derived); legacy dicts carry loose
+    ``sample_every``/``rules`` keys and are normalized here so cached
+    or hand-built job specs keep working.
+    """
+    stack = params.get("stack")
+    if stack is not None:
+        return MonitorStackConfig.from_dict(stack)
+    return MonitorStackConfig(
+        monitor=params["monitor"],
+        sample_every=params.get("sample_every"),
+        rules=params.get("rules", "default"),
+    ).validate()
+
+
+def _machine_detected(workload, buggy, monitor_name, result):
+    """Did this machine's monitor catch the workload's injected bug?
+
+    Mirrors :func:`repro.analysis.experiments.detection_succeeded`, but
+    tolerates monitors without report lists (profiler, native) so a
+    mixed fleet still tallies.
+    """
+    if not buggy or monitor_name == "native":
+        return False
+    bug = WORKLOADS[workload].bug
+    if bug is None:
+        return False
+    monitor = result.monitor
+    if bug in ("overflow", "uaf"):
+        return bool(getattr(monitor, "corruption_reports", ()) or ()) \
+            and result.truth.corruption is not None
+    reported = {report.object_address for report in
+                getattr(monitor, "leak_reports", ()) or ()}
+    return bool(reported & result.truth.leaked_addresses)
+
+
 def _run_fleet_machine(params):
     """One fleet machine: run the workload, summarize the outcome.
 
-    With ``sample_every`` set, the machine also runs the production
-    monitoring stack -- a :class:`~repro.obs.sampler.SamplingProfiler`
-    plus an :class:`~repro.obs.alerts.AlertEngine` -- so the run tap's
-    registry dump carries ``sampler.*``/``alerts.*`` metrics into the
-    fleet merge (counters sum, giving fleet-wide alert totals).
+    The machine's monitoring stack is described by ``params["stack"]``
+    (a :class:`~repro.obs.stack.MonitorStackConfig` dict).  With an
+    allocation :class:`~repro.core.sampling.SamplingPolicy` the monitor
+    runs in sampled production mode; with ``sample_every`` the machine
+    also runs the sampling profiler + alert engine.  Either way the run
+    tap's registry dump carries ``safemem.sampling.*`` /
+    ``sampler.*`` / ``alerts.*`` metrics into the fleet merge
+    (counters sum, giving fleet-wide totals).
     """
-    sample_every = params.get("sample_every")
-    machine = monitor = sampler = engine = None
-    if sample_every or params.get("forensics"):
-        # Pre-boot the machine so the monitoring stack (and, in
-        # forensic mode, the panic handler below) can see it.
-        from repro.machine.machine import Machine
-        machine = Machine(dram_size=DRAM_SIZE, cache_size=CACHE_SIZE,
-                          cache_ways=16)
-        monitor = make_monitor(params["monitor"])
-    if sample_every:
-        from repro.obs.alerts import AlertEngine, resolve_rules
-        from repro.obs.sampler import SamplingProfiler, leak_group_source
-        sampler = SamplingProfiler(machine, interval_cycles=sample_every,
-                                   group_source=leak_group_source(monitor))
-        engine = AlertEngine(
-            resolve_rules(params.get("rules", "default")),
-            events=machine.events, metrics=machine.metrics,
-        )
-        sampler.add_listener(engine.evaluate)
-        sampler.start()
+    config = _machine_stack_config(params)
+    stack = None
+    machine = monitor = None
+    if config.sampling is not None or config.wants_profiler \
+            or config.stream is not None or params.get("forensics"):
+        # Pre-boot the full stack so the monitoring components (and, in
+        # forensic mode, the panic handler below) can see the machine.
+        stack = build_monitor_stack(config,
+                                    label=f"m{params['index']}")
+        machine, monitor = stack.machine, stack.monitor
+        stack.start()
     try:
         result = run_workload(
             params["workload"], params["monitor"], buggy=params["buggy"],
@@ -161,16 +199,13 @@ def _run_fleet_machine(params):
             corruption_reports=len(
                 getattr(monitor, "corruption_reports", ()) or ()),
             overhead_pct=None,
-            alerts_fired=(sum(f for f, _, _ in
-                              engine.summary().values())
-                          if engine is not None else 0),
-            alerts_resolved=(sum(r for _, r, _ in
-                                 engine.summary().values())
-                             if engine is not None else 0),
+            alerts_fired=stack.alerts_fired,
+            alerts_resolved=stack.alerts_resolved,
         )
     finally:
-        if sampler is not None:
-            sampler.stop()
+        if stack is not None:
+            stack.stop()
+            stack.close()
     truth = result.truth
     overhead = None
     if params["monitor"] != "native" and truth.detection is None:
@@ -180,12 +215,6 @@ def _run_fleet_machine(params):
         )
         overhead = overhead_percent(result.cycles, native.cycles)
     monitor = result.monitor
-    alerts_fired = alerts_resolved = 0
-    if engine is not None:
-        summary = engine.summary()
-        alerts_fired = sum(fired for fired, _, _ in summary.values())
-        alerts_resolved = sum(resolved
-                              for _, resolved, _ in summary.values())
     return MachineReport(
         index=params["index"],
         seed=params["seed"],
@@ -198,8 +227,11 @@ def _run_fleet_machine(params):
         corruption_reports=len(
             getattr(monitor, "corruption_reports", ()) or ()),
         overhead_pct=overhead,
-        alerts_fired=alerts_fired,
-        alerts_resolved=alerts_resolved,
+        alerts_fired=stack.alerts_fired if stack is not None else 0,
+        alerts_resolved=(stack.alerts_resolved
+                         if stack is not None else 0),
+        detected=_machine_detected(params["workload"], params["buggy"],
+                                   params["monitor"], result),
     )
 
 
@@ -240,6 +272,14 @@ JOB_KINDS = {
         encode=asdict,
         decode=lambda payload: MachineReport(**payload),
     ),
+    "sampling-point": _JobKind(
+        run=lambda params: sampling_curve_point(
+            params["rate"], workload=params["workload"],
+            machines=params["machines"], requests=params["requests"],
+            base_seed=params["seed"]),
+        encode=asdict,
+        decode=lambda payload: SamplingPoint(**payload),
+    ),
 }
 
 
@@ -259,6 +299,12 @@ def enumerate_validation_jobs(requests=250):
     for name in FIGURE3_WORKLOADS:
         specs.append(("figure3-series", f"figure3:{name}",
                       {"name": name, "requests": None}))
+    for rate in SAMPLING_CURVE_RATES:
+        specs.append(("sampling-point", f"sampling:{rate:g}",
+                      {"rate": rate,
+                       "workload": SAMPLING_CURVE_WORKLOAD,
+                       "machines": SAMPLING_CURVE_MACHINES,
+                       "requests": None, "seed": 0}))
     return specs
 
 
@@ -374,17 +420,27 @@ def _execute_job(spec, dump_dir=None, dump_on_alert=False):
 
         def _attach_recorder(machine, monitor, run_info):
             info = dict(run_info)
-            if isinstance(params, dict) and params.get("sample_every") \
-                    and params.get("monitor") == info.get("monitor"):
-                # Record the monitoring stack so replay recreates it
-                # (the alert engine's ALERT events are part of the
-                # stream a bit-exact replay must reproduce).
-                from repro.obs.alerts import resolve_rules
-                info["monitoring"] = {
-                    "sample_every": params["sample_every"],
-                    "rules": [rule.to_dict() for rule in resolve_rules(
-                        params.get("rules", "default"))],
-                }
+            stacked = (params.get("stack")
+                       if isinstance(params, dict) else None)
+            if stacked and stacked.get("monitor") == info.get("monitor"):
+                # Record the monitoring stack so replay recreates it:
+                # the alert engine's ALERT events and the allocation
+                # sampler's heap routing are both part of the stream a
+                # bit-exact replay must reproduce.  (The guard skips
+                # the machine's native overhead twin.)
+                config = MonitorStackConfig.from_dict(stacked)
+                monitoring = {}
+                if config.wants_profiler:
+                    from repro.obs.alerts import resolve_rules
+                    monitoring["sample_every"] = config.sample_every
+                    monitoring["rules"] = [
+                        rule.to_dict()
+                        for rule in resolve_rules(config.rules)
+                    ]
+                if config.sampling is not None:
+                    monitoring["sampling"] = config.sampling.to_dict()
+                if monitoring:
+                    info["monitoring"] = monitoring
             label = ident.replace(":", "-")
             recorders.append(ForensicRecorder(
                 machine, monitor=monitor, run_info=info,
@@ -558,6 +614,12 @@ def assemble_context(payloads):
             payloads[f"table5:{name}"] for name in LEAK_WORKLOADS
         ]),
         "figure3": Figure3Result(series=series, run_seconds=run_seconds),
+        "sampling": SamplingCurveResult(
+            workload=SAMPLING_CURVE_WORKLOAD,
+            machines=SAMPLING_CURVE_MACHINES,
+            points=[payloads[f"sampling:{rate:g}"]
+                    for rate in SAMPLING_CURVE_RATES],
+        ),
     }
 
 
@@ -578,23 +640,45 @@ class ValidationRun:
 
 
 def run_validation(requests=250, jobs=None, cache_dir=None,
-                   use_cache=True, dump_dir=None):
+                   use_cache=True, stack=None, **legacy):
     """Sharded ``repro validate``: enumerate, fan out, merge, check.
 
     ``jobs=1`` runs every shard in-process (no pool) but still through
     the payload codec, so the only difference parallelism introduces is
-    which process executed a shard.  ``dump_dir`` turns on forensic
-    recording: any shard machine that panics leaves a ``repro.dump/v1``
-    bundle there.
+    which process executed a shard.  ``stack`` (a
+    :class:`~repro.obs.stack.MonitorStackConfig`) supplies the
+    forensic settings: with a dump dir, any shard machine that panics
+    leaves a ``repro.dump/v1`` bundle there.  (The claim experiments
+    pin their own monitor configs, so the stack's monitor/sampling
+    fields do not alter the validated runs.)  The old ``dump_dir=``
+    keyword still works but warns :class:`DeprecationWarning`.
     """
     from repro.analysis.claims import validate
+    unknown = set(legacy) - {"dump_dir"}
+    if unknown:
+        raise TypeError(f"run_validation() got unexpected keyword "
+                        f"arguments {sorted(unknown)}")
+    if legacy:
+        warnings.warn(
+            "run_validation(dump_dir=...) is deprecated; pass "
+            "stack=MonitorStackConfig(dump_dir=...) instead (see docs/"
+            "ARCHITECTURE.md#the-monitor-stack-monitorstackconfig)",
+            DeprecationWarning, stacklevel=2)
+        if stack is not None:
+            raise TypeError("run_validation() got both stack= and the "
+                            "legacy dump_dir= keyword")
+        stack = MonitorStackConfig(dump_dir=legacy["dump_dir"])
+    if stack is None:
+        stack = MonitorStackConfig()
+    stack.validate()
     cache = None
     if use_cache:
         cache = ResultCache(cache_dir if cache_dir is not None
                             else default_cache_dir())
     specs = enumerate_validation_jobs(requests=requests)
     outcome = run_jobs(specs, jobs=jobs, cache=cache,
-                       dump_dir=dump_dir)
+                       dump_dir=stack.resolved_dump_dir(),
+                       dump_on_alert=stack.dump_on_alert)
     context = assemble_context(outcome.payloads)
     return ValidationRun(results=validate(context=context),
                          context=context, outcome=outcome)
@@ -641,6 +725,9 @@ class MachineReport:
     alerts_resolved: int = 0
     #: forensic bundle paths this machine wrote (dump mode only).
     bundles: list = field(default_factory=list)
+    #: did this machine's monitor catch the workload's injected bug?
+    #: (always False on normal input or under the native monitor)
+    detected: bool = False
 
 
 @dataclass
@@ -682,6 +769,27 @@ class FleetResult:
         return self.metrics is not None and \
             "sampler.samples" in self.metrics.values
 
+    @property
+    def allocation_sampled(self):
+        """True when machines ran with an allocation sampling policy."""
+        return self.metrics is not None and \
+            "safemem.sampling.sampled" in self.metrics.values
+
+    @property
+    def machines_detected(self):
+        """Fleet-wide detection tally, read from the merged telemetry."""
+        if self.metrics is not None and \
+                "fleet.machines.detected" in self.metrics.values:
+            return self.metrics.get("fleet.machines.detected", 0)
+        return sum(1 for report in self.reports if report.detected)
+
+    @property
+    def detection_probability(self):
+        """Fraction of fleet machines whose monitor caught the bug."""
+        if not self.reports:
+            return 0.0
+        return self.machines_detected / len(self.reports)
+
     def overhead_distribution(self):
         """(min, median, max) overhead across machines, or None."""
         overheads = sorted(report.overhead_pct for report in self.reports
@@ -714,6 +822,16 @@ class FleetResult:
             note += (f"; {self.metrics.get('sampler.samples', 0)} "
                      f"samples, {self.total_alerts_fired} alerts fired "
                      f"/ {self.total_alerts_resolved} resolved")
+        if self.allocation_sampled:
+            note += (f"; allocation sampling: "
+                     f"{self.metrics.get('safemem.sampling.sampled', 0)}"
+                     f" sampled / "
+                     f"{self.metrics.get('safemem.sampling.skipped', 0)}"
+                     f" skipped")
+        if self.buggy:
+            note += (f"; detection "
+                     f"{self.machines_detected}/{len(self.reports)} "
+                     f"machines")
         if distribution is not None:
             low, median, high = distribution
             note += (f"; overhead min/median/max "
@@ -736,40 +854,226 @@ class FleetResult:
         )
 
 
-def run_fleet(workload, machines=4, monitor="safemem", requests=None,
-              buggy=False, jobs=None, base_seed=0, sample_every=None,
-              rules="default", dump_dir=None, dump_on_alert=False):
+def machine_seed(base_seed, index):
+    """Workload seed of fleet machine ``index``.
+
+    Pinned contract: ``base_seed + index`` -- each machine sees its own
+    traffic, and machine 0 of ``base_seed=S`` replays exactly the solo
+    run seeded ``S``.  The *sampling* seed of a machine is derived
+    separately (:func:`repro.core.sampling.machine_sample_seed`, via
+    ``MonitorStackConfig.for_machine``) so the sampling schedule is not
+    correlated with the workload's request stream.
+    """
+    return base_seed + index
+
+
+#: legacy run_fleet keyword arguments, now carried by the stack config.
+_LEGACY_FLEET_KWARGS = ("sample_every", "rules", "dump_dir",
+                        "dump_on_alert")
+
+
+def _coerce_fleet_stack(stack, monitor, legacy):
+    """Normalize run_fleet's monitoring arguments to one stack config."""
+    unknown = set(legacy) - set(_LEGACY_FLEET_KWARGS)
+    if unknown:
+        raise TypeError(f"run_fleet() got unexpected keyword arguments "
+                        f"{sorted(unknown)}")
+    if legacy:
+        warnings.warn(
+            "run_fleet(sample_every=..., rules=..., dump_dir=..., "
+            "dump_on_alert=...) is deprecated; pass "
+            "stack=MonitorStackConfig(...) instead (see docs/"
+            "ARCHITECTURE.md#the-monitor-stack-monitorstackconfig)",
+            DeprecationWarning, stacklevel=3)
+        if stack is not None:
+            raise TypeError(
+                "run_fleet() got both stack= and legacy monitoring "
+                "keywords; move everything onto the stack config")
+        return MonitorStackConfig(
+            monitor=monitor if monitor is not None else "safemem",
+            sample_every=legacy.get("sample_every"),
+            rules=legacy.get("rules", "default"),
+            dump_dir=legacy.get("dump_dir"),
+            dump_on_alert=legacy.get("dump_on_alert", False),
+        ).validate()
+    if stack is None:
+        return MonitorStackConfig(
+            monitor=monitor if monitor is not None else "safemem",
+        ).validate()
+    if monitor is not None and monitor != stack.monitor:
+        raise ConfigurationError(
+            f"run_fleet(monitor={monitor!r}) conflicts with "
+            f"stack.monitor={stack.monitor!r}")
+    return stack.validate()
+
+
+def run_fleet(workload, machines=4, monitor=None, requests=None,
+              buggy=False, jobs=None, base_seed=0, stack=None,
+              **legacy):
     """Run ``machines`` simulated machines of one workload concurrently.
 
-    Each machine gets its own seed (``base_seed + index``) so the fleet
-    sees naturally varied traffic, and its telemetry merges into one
-    fleet snapshot -- total faults, total reports, and an overhead
-    distribution instead of a single anecdote.  ``sample_every`` turns
-    on the production monitoring stack (sampler + alert engine, with
-    ``rules``) on every machine; per-machine alert summaries land in
-    the :class:`MachineReport` rows and the merged ``alerts.*``
-    counters give fleet-wide totals.
+    Each machine gets its own workload seed (:func:`machine_seed`) so
+    the fleet sees naturally varied traffic, and its telemetry merges
+    into one fleet snapshot -- total faults, total reports, detection
+    tallies, and an overhead distribution instead of a single anecdote.
 
-    ``dump_dir`` arms forensic recording on every machine: a PANIC
-    (and, with ``dump_on_alert``, any alert reaching ``firing``) writes
-    a ``repro.dump/v1`` bundle there, and the fleet report links it.
+    ``stack`` (a :class:`~repro.obs.stack.MonitorStackConfig`) is the
+    one description of the per-machine monitoring stack: the monitor
+    choice, an allocation :class:`~repro.core.sampling.SamplingPolicy`
+    (each machine samples under its own derived seed, GWP-ASan style),
+    the sampling profiler + alert engine (``sample_every``/``rules``),
+    telemetry streaming, and forensic dumps.  ``monitor`` without a
+    stack is shorthand for ``MonitorStackConfig(monitor=...)``; the old
+    loose ``sample_every``/``rules``/``dump_dir``/``dump_on_alert``
+    keywords still work but warn :class:`DeprecationWarning`.
     """
     if machines < 1:
         raise ConfigurationError(
             f"--machines must be >= 1, got {machines}")
-    forensics = dump_dir is not None
+    stack = _coerce_fleet_stack(stack, monitor, legacy)
+    forensics = stack.wants_forensics
     specs = [
         ("fleet-machine", f"fleet:{workload}:{index}",
-         {"workload": workload, "monitor": monitor, "buggy": buggy,
-          "requests": requests, "seed": base_seed + index,
-          "index": index, "sample_every": sample_every, "rules": rules,
+         {"workload": workload, "monitor": stack.monitor, "buggy": buggy,
+          "requests": requests, "seed": machine_seed(base_seed, index),
+          "index": index, "stack": stack.for_machine(index).to_dict(),
           "forensics": forensics})
         for index in range(machines)
     ]
-    outcome = run_jobs(specs, jobs=jobs, cache=None, dump_dir=dump_dir,
-                       dump_on_alert=dump_on_alert)
+    outcome = run_jobs(specs, jobs=jobs, cache=None,
+                       dump_dir=stack.resolved_dump_dir(),
+                       dump_on_alert=stack.dump_on_alert)
     reports = [outcome.payloads[f"fleet:{workload}:{index}"]
                for index in range(machines)]
-    return FleetResult(workload=workload, monitor=monitor, buggy=buggy,
-                       reports=reports, metrics=outcome.metrics,
+    # Detection is aggregated through the same telemetry merge as every
+    # other fleet-wide statistic: tally the per-machine outcomes into a
+    # registry dump and fold it in with the machines' own dumps.
+    tally = MetricsRegistry()
+    detected = tally.counter(
+        "fleet.machines.detected",
+        "fleet machines whose monitor caught the injected bug")
+    total = tally.counter("fleet.machines.total",
+                          "fleet machines that ran to completion")
+    for report in reports:
+        total.inc()
+        if report.detected:
+            detected.inc()
+    metrics = merge_dumps(outcome.dumps + [dump_registry(tally)])
+    return FleetResult(workload=workload, monitor=stack.monitor,
+                       buggy=buggy, reports=reports, metrics=metrics,
                        workers=outcome.workers)
+
+
+# ----------------------------------------------------------------------
+# Sampling curve: detection probability vs overhead across a fleet
+# ----------------------------------------------------------------------
+#: the curve's workload: an SLeak bug, because per-object lifetime
+#: outlier detection still works on the sampled subset of allocations.
+#: (ALeak detection thresholds on a group's *live count*, so at low
+#: sampling rates a growing group never looks big enough -- fleet
+#: sampling trades that detector away, which Figure 4's caption notes.)
+SAMPLING_CURVE_WORKLOAD = "ypserv2"
+#: ascending sampling rates: off, sparse, moderate, heavy, always-on.
+SAMPLING_CURVE_RATES = (0.0, 0.02, 0.1, 0.5, 1.0)
+SAMPLING_CURVE_MACHINES = 8
+
+
+@dataclass
+class SamplingPoint:
+    """One (rate, fleet) measurement on the Figure 4 curve."""
+
+    rate: float
+    machines: int
+    detected: int
+    detection_probability: float
+    #: mean per-machine overhead vs the native twin (None if no
+    #: machine produced an overhead -- e.g. every machine panicked).
+    mean_overhead_pct: object
+    #: fleet totals of the allocation sampler's admission counters
+    #: (0 at rate 1.0, which short-circuits to classic always-on).
+    sampled_allocs: int
+    skipped_allocs: int
+
+
+@dataclass
+class SamplingCurveResult:
+    """Figure 4: detection probability vs overhead, fleet-sampled."""
+
+    workload: str
+    machines: int
+    points: list
+
+    def point(self, rate):
+        for point in self.points:
+            if point.rate == rate:
+                return point
+        raise KeyError(f"no sampling point at rate {rate!r}")
+
+    def render(self):
+        from repro.analysis.tables import fmt_percent, render_table
+        rows = []
+        for point in self.points:
+            always_on = point.rate >= 1.0
+            rows.append((
+                f"{point.rate:g}",
+                f"{point.detected}/{point.machines}",
+                f"{point.detection_probability:.2f}",
+                (fmt_percent(point.mean_overhead_pct)
+                 if point.mean_overhead_pct is not None else "-"),
+                "-" if always_on else point.sampled_allocs,
+                "-" if always_on else point.skipped_allocs,
+            ))
+        return render_table(
+            f"Figure 4. Detection probability vs overhead: "
+            f"{self.machines}-machine fleet of {self.workload} under "
+            f"sampled SafeMem",
+            ["rate", "detected", "probability", "mean overhead",
+             "sampled", "skipped"],
+            rows,
+            note=("rate 1.0 short-circuits to classic always-on "
+                  "monitoring (no sampler on the hot path); each "
+                  "machine samples under its own derived seed"),
+        )
+
+
+def sampling_curve_point(rate, workload=SAMPLING_CURVE_WORKLOAD,
+                         machines=SAMPLING_CURVE_MACHINES,
+                         requests=None, base_seed=0):
+    """Measure one sampling rate across a buggy fleet.
+
+    Runs in-process (``jobs=1``): a curve point is itself a shardable
+    validation job, and pool workers must not spawn children.
+    """
+    stack = MonitorStackConfig(monitor="safemem",
+                               sampling=SamplingPolicy(rate=rate))
+    fleet = run_fleet(workload, machines=machines, requests=requests,
+                      buggy=True, jobs=1, base_seed=base_seed,
+                      stack=stack)
+    overheads = [report.overhead_pct for report in fleet.reports
+                 if report.overhead_pct is not None]
+    return SamplingPoint(
+        rate=rate,
+        machines=machines,
+        detected=fleet.machines_detected,
+        detection_probability=fleet.detection_probability,
+        mean_overhead_pct=(sum(overheads) / len(overheads)
+                           if overheads else None),
+        sampled_allocs=fleet.metrics.get("safemem.sampling.sampled", 0),
+        skipped_allocs=fleet.metrics.get("safemem.sampling.skipped", 0),
+    )
+
+
+def experiment_sampling_curve(requests=None, rates=SAMPLING_CURVE_RATES,
+                              workload=SAMPLING_CURVE_WORKLOAD,
+                              machines=SAMPLING_CURVE_MACHINES,
+                              base_seed=0):
+    """The full Figure 4 sweep (serial path; validation shards it)."""
+    return SamplingCurveResult(
+        workload=workload,
+        machines=machines,
+        points=[sampling_curve_point(rate, workload=workload,
+                                     machines=machines,
+                                     requests=requests,
+                                     base_seed=base_seed)
+                for rate in rates],
+    )

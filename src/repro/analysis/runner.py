@@ -100,14 +100,37 @@ MONITOR_FACTORIES = {
     "pageprot": lambda: PageProtGuard(),
 }
 
+#: monitors that understand an allocation :class:`SamplingPolicy`.
+SAMPLING_CONFIGS = {
+    "safemem-ml": leak_only_config,
+    "safemem-mc": corruption_only_config,
+    "safemem": full_config,
+}
+
 
 def _make_profiler():
     from repro.core.profiler import LifetimeProfiler
     return LifetimeProfiler()
 
 
-def make_monitor(name):
-    """Instantiate a monitor by its short experiment name."""
+def make_monitor(name, sampling=None):
+    """Instantiate a monitor by its short experiment name.
+
+    ``sampling`` (a :class:`~repro.core.sampling.SamplingPolicy`)
+    builds the SafeMem variants in sampled production mode; requesting
+    it for a monitor that can't sample is a configuration error rather
+    than a silent always-on run.
+    """
+    if sampling is not None:
+        try:
+            config = SAMPLING_CONFIGS[name]
+        except KeyError:
+            from repro.common.errors import ConfigurationError
+            raise ConfigurationError(
+                f"monitor {name!r} does not support allocation "
+                f"sampling; choose from {sorted(SAMPLING_CONFIGS)}"
+            ) from None
+        return SafeMem(config(sampling=sampling))
     try:
         return MONITOR_FACTORIES[name]()
     except KeyError:

@@ -27,12 +27,18 @@ Commands:
 - ``stats``   runs one workload and prints its metrics snapshot;
 - ``list``    shows the available workloads and monitors.
 
-``run``, ``stats``, ``validate``, and ``fleet`` accept
-``--emit-metrics PATH`` to write the run's (merged) registry snapshot
-as a ``repro.metrics/v1`` JSON document.  ``monitor``, ``fleet``, and
-``validate`` can arm forensic recording (``--dump-dir`` /
-``--dump-on-alert``): machines that panic or trip a firing alert
-auto-write ``repro.dump/v1`` bundles -- see ``docs/SCHEMAS.md``.
+``run``, ``monitor``, ``fleet``, and ``validate`` all mount the same
+monitoring-stack argument group (one argparse parent, one
+:class:`~repro.obs.stack.MonitorStackConfig` built by
+``MonitorStackConfig.from_args``): ``--sample-rate``/``--sample-seed``/
+``--guard-budget`` put the monitor in sampled production mode,
+``--sample-every``/``--rules`` run the sampling profiler + alert
+engine, ``--stream`` ships ``repro.events/v1`` records, and
+``--dump-dir``/``--dump-on-alert`` arm forensic ``repro.dump/v1``
+recording -- identically spelled everywhere (see
+``docs/ARCHITECTURE.md``).  ``run``, ``stats``, ``validate``, and
+``fleet`` accept ``--emit-metrics PATH`` to write the run's (merged)
+registry snapshot as a ``repro.metrics/v1`` JSON document.
 """
 
 import argparse
@@ -58,6 +64,12 @@ from repro.obs.export import (
     render_span_tree,
     write_metrics_json,
 )
+from repro.obs.stack import (
+    DEFAULT_SAMPLE_EVERY,
+    MonitorStackConfig,
+    add_monitoring_arguments,
+    build_monitor_stack,
+)
 from repro.workloads.registry import WORKLOADS, all_workload_names
 
 
@@ -67,6 +79,9 @@ def build_parser():
         description="SafeMem (HPCA 2005) reproduction harness",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    # One monitoring flag set, shared verbatim by every command that
+    # runs workloads; each command turns it into a MonitorStackConfig.
+    monitoring = add_monitoring_arguments()
 
     for table in ("table2", "table3", "table4", "table5", "figure3"):
         table_parser = sub.add_parser(
@@ -86,6 +101,7 @@ def build_parser():
     validate_parser = sub.add_parser(
         "validate",
         help="re-verify every reproduction claim (PASS/FAIL matrix)",
+        parents=[monitoring],
     )
     validate_parser.add_argument("--requests", type=int, default=250)
     validate_parser.add_argument(
@@ -122,16 +138,12 @@ def build_parser():
         help="write the merged fleet telemetry as repro.metrics/v1 "
              "JSON (covers freshly-run experiments only)",
     )
-    validate_parser.add_argument(
-        "--dump-dir", default=None, metavar="DIR",
-        help="write repro.dump/v1 forensic bundles here when a shard "
-             "machine panics",
-    )
 
     fleet_parser = sub.add_parser(
         "fleet",
         help="run M concurrent simulated machines of one workload and "
              "aggregate their telemetry",
+        parents=[monitoring],
     )
     fleet_parser.add_argument("workload", choices=sorted(WORKLOADS))
     fleet_parser.add_argument(
@@ -147,42 +159,33 @@ def build_parser():
     fleet_parser.add_argument("--requests", type=int, default=None)
     fleet_parser.add_argument(
         "--seed", type=int, default=0,
-        help="base seed; machine i runs with seed base+i",
+        help="base seed; machine i runs the workload with seed base+i "
+             "(sampling seeds are derived separately per machine)",
     )
     fleet_parser.add_argument(
         "--jobs", type=int, default=None,
         help="worker processes (default: one per CPU)",
     )
     fleet_parser.add_argument(
-        "--sample-every", type=int, default=None, metavar="CYCLES",
-        help="run the sampling profiler + alert engine on every "
-             "machine and aggregate alert totals across the fleet",
-    )
-    fleet_parser.add_argument(
-        "--rules", default="default", metavar="default|none|FILE",
-        help="alert rules for --sample-every (default: the built-in "
-             "production set)",
+        "--rate-curve", metavar="R,R,...", default=None,
+        help="sweep these allocation sampling rates over the fleet "
+             "and print the detection-probability-vs-overhead curve "
+             "(runs sampled SafeMem on the buggy input; Figure 4)",
     )
     fleet_parser.add_argument(
         "--emit-metrics", metavar="PATH", default=None,
         help="write the merged fleet telemetry as repro.metrics/v1 "
              "JSON",
     )
-    fleet_parser.add_argument(
-        "--dump-dir", default=None, metavar="DIR",
-        help="write repro.dump/v1 forensic bundles here on machine "
-             "panic (and, with --dump-on-alert, on firing alerts)",
-    )
-    fleet_parser.add_argument(
-        "--dump-on-alert", action="store_true",
-        help="also dump a bundle when any alert reaches firing "
-             "(defaults --dump-dir to ./dumps)",
-    )
 
     monitor_parser = sub.add_parser(
         "monitor",
         help="run one workload under live production monitoring "
              "(sampling profiler + alerts + streaming)",
+        # Same flag set, but the monitor command's whole point is the
+        # profiler: its --sample-every defaults on instead of off.
+        parents=[add_monitoring_arguments(
+            sample_every_default=DEFAULT_SAMPLE_EVERY)],
     )
     monitor_parser.add_argument("workload", choices=all_workload_names())
     monitor_parser.add_argument(
@@ -194,10 +197,6 @@ def build_parser():
     monitor_parser.add_argument("--requests", type=int, default=None)
     monitor_parser.add_argument("--seed", type=int, default=0)
     monitor_parser.add_argument(
-        "--sample-every", type=int, default=100_000, metavar="CYCLES",
-        help="sampling interval in CPU cycles (default 100000)",
-    )
-    monitor_parser.add_argument(
         "--report-every", type=int, default=0, metavar="N",
         help="print a live top-style panel every N samples "
              "(default: final panel only)",
@@ -207,30 +206,8 @@ def build_parser():
         help="allocation groups shown per panel (default 5)",
     )
     monitor_parser.add_argument(
-        "--rules", default="default", metavar="default|none|FILE",
-        help="alert rules: the built-in set, none, or a JSON rule file",
-    )
-    monitor_parser.add_argument(
-        "--stream", metavar="PATH", default=None,
-        help="stream repro.events/v1 records to a rotating JSONL file",
-    )
-    monitor_parser.add_argument(
-        "--stream-max-bytes", type=int, default=None,
-        help="rotation threshold for --stream (default 1 MiB)",
-    )
-    monitor_parser.add_argument(
         "--emit-metrics", metavar="PATH", default=None,
         help="write the run's metrics as repro.metrics/v1 JSON",
-    )
-    monitor_parser.add_argument(
-        "--dump-dir", default=None, metavar="DIR",
-        help="write repro.dump/v1 forensic bundles here on kernel "
-             "panic (and, with --dump-on-alert, on firing alerts)",
-    )
-    monitor_parser.add_argument(
-        "--dump-on-alert", action="store_true",
-        help="also dump a bundle when any alert reaches firing "
-             "(defaults --dump-dir to ./dumps)",
     )
 
     replay_parser = sub.add_parser(
@@ -303,7 +280,8 @@ def build_parser():
         help="rows shown per section (default 20)")
 
     run_parser = sub.add_parser(
-        "run", help="run one workload under one monitor"
+        "run", help="run one workload under one monitor",
+        parents=[monitoring],
     )
     run_parser.add_argument("workload", choices=all_workload_names())
     run_parser.add_argument(
@@ -371,10 +349,48 @@ def _emit_metrics(path, result, out):
               f"{len(document.get('spans', []))} spans)\n")
 
 
+def _stack_run_info(args, config):
+    """The replayable run description a forensic bundle records."""
+    return {
+        "workload": args.workload,
+        "monitor": config.monitor,
+        "buggy": args.buggy,
+        "requests": args.requests,
+        "seed": args.seed,
+    }
+
+
 def command_run(args, out):
-    result = run_workload(args.workload, args.monitor,
-                          buggy=args.buggy, requests=args.requests,
-                          seed=args.seed)
+    from repro.common.errors import MachinePanic
+    config = MonitorStackConfig.from_args(args)
+    active = (config.sampling is not None or config.wants_profiler
+              or config.stream is not None or config.wants_forensics)
+    if active:
+        # No label: a single-machine run streams to the exact path the
+        # user gave; only fleet machines suffix their stream files.
+        stack = build_monitor_stack(
+            config, run_info=_stack_run_info(args, config))
+        try:
+            stack.start()
+            try:
+                result = run_workload(
+                    args.workload, config.monitor, buggy=args.buggy,
+                    requests=args.requests, seed=args.seed,
+                    machine=stack.machine, monitor=stack.monitor)
+            except MachinePanic as error:
+                if stack.recorder is None:
+                    raise
+                out.write(f"PANIC: {error}\n")
+                for path in stack.bundle_paths:
+                    out.write(f"dump:      {path}\n")
+                return 1
+        finally:
+            stack.stop()
+            stack.close()
+    else:
+        result = run_workload(args.workload, args.monitor,
+                              buggy=args.buggy, requests=args.requests,
+                              seed=args.seed)
     out.write(f"workload:  {args.workload} "
               f"({'buggy' if args.buggy else 'normal'} input)\n")
     out.write(f"monitor:   {args.monitor}\n")
@@ -392,6 +408,12 @@ def command_run(args, out):
             f"overhead:  +{overhead_percent(result.cycles, native.cycles):.2f}% "
             f"({slowdown_factor(result.cycles, native.cycles):.2f}x)\n"
         )
+    if config.sampling is not None and not config.sampling.always_on:
+        out.write(f"sampling:  "
+                  f"{result.metrics.get('safemem.sampling.sampled', 0)}"
+                  f" sampled / "
+                  f"{result.metrics.get('safemem.sampling.skipped', 0)}"
+                  f" skipped allocations\n")
 
     truth = result.truth
     if truth.leaked_addresses:
@@ -460,7 +482,7 @@ def command_validate(args, out):
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
-            dump_dir=args.dump_dir,
+            stack=MonitorStackConfig.from_args(args),
         )
     except FleetError as error:
         out.write(f"fleet error: {error}\n")
@@ -497,21 +519,28 @@ def command_validate(args, out):
 def command_fleet(args, out):
     from repro.analysis import fleet
     from repro.common.errors import FleetError
-    dump_dir = args.dump_dir or ("dumps" if args.dump_on_alert
-                                 else None)
+    if args.rate_curve:
+        rates = [float(rate) for rate in args.rate_curve.split(",")
+                 if rate.strip()]
+        curve = fleet.SamplingCurveResult(
+            workload=args.workload,
+            machines=args.machines,
+            points=[fleet.sampling_curve_point(
+                rate, workload=args.workload, machines=args.machines,
+                requests=args.requests, base_seed=args.seed)
+                for rate in rates],
+        )
+        out.write(curve.render() + "\n")
+        return 0
     try:
         result = fleet.run_fleet(
             args.workload,
             machines=args.machines,
-            monitor=args.monitor,
             requests=args.requests,
             buggy=args.buggy,
             jobs=args.jobs,
             base_seed=args.seed,
-            sample_every=args.sample_every,
-            rules=args.rules,
-            dump_dir=dump_dir,
-            dump_on_alert=args.dump_on_alert,
+            stack=MonitorStackConfig.from_args(args),
         )
     except FleetError as error:
         out.write(f"fleet error: {error}\n")
@@ -532,98 +561,69 @@ def command_fleet(args, out):
 
 
 def command_monitor(args, out):
-    from repro.analysis.runner import CACHE_SIZE, DRAM_SIZE, make_monitor
     from repro.common.errors import MachinePanic
-    from repro.machine.machine import Machine
-    from repro.obs.alerts import AlertEngine, resolve_rules
-    from repro.obs.sampler import (
-        SamplingProfiler,
-        leak_group_source,
-        render_top,
-    )
-    from repro.obs.sink import DEFAULT_MAX_BYTES, JsonlSink, TelemetryStream
+    from repro.obs.sampler import render_top
 
-    machine = Machine(dram_size=DRAM_SIZE, cache_size=CACHE_SIZE,
-                      cache_ways=16)
-    monitor = make_monitor(args.monitor)
-    rules = resolve_rules(args.rules)
-    sampler = SamplingProfiler(machine, interval_cycles=args.sample_every,
-                               group_source=leak_group_source(monitor))
-    engine = AlertEngine(rules, events=machine.events,
-                         metrics=machine.metrics)
-    sampler.add_listener(engine.evaluate)
+    config = MonitorStackConfig.from_args(args)
+    # No label: stream to the exact --stream path (fleet machines are
+    # the only per-machine-suffixed writers).
+    stack = build_monitor_stack(
+        config, run_info=_stack_run_info(args, config))
+    machine, monitor = stack.machine, stack.monitor
+    sampler, engine = stack.sampler, stack.engine
     if args.report_every:
         def live_panel(sample):
             if sample.index % args.report_every == 0:
                 out.write(render_top(sample, alerts=engine.firing(),
                                      top=args.top) + "\n\n")
         sampler.add_listener(live_panel)
-    stream = sink = recorder = None
-    dump_dir = args.dump_dir or ("dumps" if args.dump_on_alert
-                                 else None)
     try:
-        if args.stream:
-            sink = JsonlSink(args.stream,
-                             max_bytes=args.stream_max_bytes
-                             or DEFAULT_MAX_BYTES)
-            stream = TelemetryStream(sink, machine=machine,
-                                     sampler=sampler, engine=engine)
-            stream.mark(machine.clock.cycles, marker="start",
-                        workload=args.workload, monitor=args.monitor,
-                        buggy=args.buggy, seed=args.seed,
-                        sample_every=args.sample_every, rules=args.rules)
-        if dump_dir is not None:
-            from repro.obs.forensics import ForensicRecorder
-            recorder = ForensicRecorder(
-                machine, monitor=monitor,
-                run_info={
-                    "workload": args.workload,
-                    "monitor": args.monitor,
-                    "buggy": args.buggy,
-                    "requests": args.requests,
-                    "seed": args.seed,
-                    "monitoring": {
-                        "sample_every": args.sample_every,
-                        "rules": [rule.to_dict() for rule in rules],
-                    },
-                },
-                dump_dir=dump_dir, label=args.workload,
-                on_alert=args.dump_on_alert,
-            )
-        sampler.start()
+        if stack.stream is not None:
+            stack.stream.mark(
+                machine.clock.cycles, marker="start",
+                workload=args.workload, monitor=config.monitor,
+                buggy=args.buggy, seed=args.seed,
+                sample_every=config.sample_every, rules=config.rules)
+        stack.start()
         panic = None
         try:
-            result = run_workload(args.workload, args.monitor,
+            result = run_workload(args.workload, config.monitor,
                                   buggy=args.buggy,
                                   requests=args.requests,
                                   seed=args.seed, machine=machine,
                                   monitor=monitor)
         except MachinePanic as error:
-            if recorder is None:
+            if stack.recorder is None:
                 raise
             panic = error
         finally:
-            sampler.stop()
+            stack.stop()
         if panic is not None:
-            if stream is not None:
-                stream.mark(machine.clock.cycles, marker="panic",
-                            reason=str(panic))
+            if stack.stream is not None:
+                stack.stream.mark(machine.clock.cycles, marker="panic",
+                                  reason=str(panic))
             out.write(f"PANIC: {panic}\n")
-            for path in recorder.bundle_paths:
+            for path in stack.bundle_paths:
                 out.write(f"dump:      {path}\n")
             return 1
         final = sampler.sample_now()
         out.write(render_top(final, alerts=engine.firing(),
                              top=args.top,
                              title=f"final: {args.workload}/"
-                                   f"{args.monitor}")
+                                   f"{config.monitor}")
                   + "\n")
         out.write(f"requests:  {result.truth.requests_completed}"
                   f"/{result.requests}\n")
         out.write(f"samples:   {sampler.samples_taken} "
                   f"({sampler.samples_evicted} evicted from the ring)\n")
-        summary = engine.summary()
-        fired_total = sum(fired for fired, _, _ in summary.values())
+        if config.sampling is not None and not config.sampling.always_on:
+            out.write(
+                f"sampling:  "
+                f"{result.metrics.get('safemem.sampling.sampled', 0)}"
+                f" sampled / "
+                f"{result.metrics.get('safemem.sampling.skipped', 0)}"
+                f" skipped allocations\n")
+        summary = stack.alert_summary()
         if summary:
             out.write("alerts:\n")
             for name, (fired, resolved, state) in summary.items():
@@ -632,17 +632,18 @@ def command_monitor(args, out):
         if result.truth.detection is not None:
             out.write(f"stopped at detection: "
                       f"{result.truth.detection.report}\n")
-        if stream is not None:
-            stream.mark(machine.clock.cycles, marker="finish",
-                        samples=sampler.samples_taken,
-                        alerts_fired=fired_total)
-            stream.close()
+        if stack.stream is not None:
+            stack.stream.mark(machine.clock.cycles, marker="finish",
+                              samples=sampler.samples_taken,
+                              alerts_fired=stack.alerts_fired)
+            stack.stream.close()
+            sink = stack.sink
             out.write(f"stream:    {sink.records_written} records, "
                       f"{sink.rotations} rotation(s) -> "
                       + ", ".join(str(path) for path in sink.paths())
                       + "\n")
-        if recorder is not None and recorder.bundle_paths:
-            for path in recorder.bundle_paths:
+        if stack.bundle_paths:
+            for path in stack.bundle_paths:
                 out.write(f"dump:      {path}\n")
         if args.emit_metrics:
             _emit_metrics(args.emit_metrics, result, out)
@@ -651,10 +652,7 @@ def command_monitor(args, out):
         # Exception-safe teardown: the stream always detaches and the
         # sink always flushes (close is idempotent), so a mid-run crash
         # still leaves a parseable repro.events/v1 file on disk.
-        if recorder is not None:
-            recorder.detach()
-        if stream is not None:
-            stream.close()
+        stack.close()
 
 
 def command_replay(args, out):

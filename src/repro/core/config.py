@@ -9,6 +9,7 @@ from dataclasses import dataclass
 
 from repro.common.clock import seconds_to_cycles
 from repro.common.errors import ConfigurationError
+from repro.core.sampling import SamplingPolicy
 
 
 @dataclass
@@ -66,6 +67,14 @@ class SafeMemConfig:
     #: "until the buffer is reallocated" window.
     freed_quarantine_bytes: int = 512 * 1024
 
+    # -- production sampling ----------------------------------------------
+    #: allocation sampling policy (GWP-ASan-style production mode).
+    #: None -- the default -- monitors every allocation exactly like
+    #: the paper; a :class:`~repro.core.sampling.SamplingPolicy` with
+    #: rate < 1.0 or a guard budget admits only sampled allocations to
+    #: the detectors, leaving the rest on the native allocation path.
+    sampling: SamplingPolicy = None
+
     def validate(self):
         """Raise :class:`ConfigurationError` on nonsensical settings."""
         if not (self.detect_leaks or self.detect_corruption
@@ -87,6 +96,8 @@ class SafeMemConfig:
             raise ConfigurationError(
                 f"unknown grouping mode: {self.grouping!r}"
             )
+        if self.sampling is not None:
+            self.sampling.validate()
         return self
 
     # ------------------------------------------------------------------

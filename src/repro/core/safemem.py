@@ -48,9 +48,40 @@ class SafeMem(Monitor):
 
     name = "safemem"
 
-    def __init__(self, config=None):
+    def __init__(self, config=None, /, **kwargs):
         super().__init__()
+        if "config" in kwargs:
+            # Pre-MonitorStackConfig call sites passed the config by
+            # keyword; the front door is now
+            # repro.obs.stack.build_monitor_stack (or a positional
+            # config for direct construction).
+            if config is not None:
+                raise TypeError(
+                    "SafeMem() got the config both positionally and "
+                    "by keyword")
+            warnings.warn(
+                "SafeMem(config=...) keyword construction is "
+                "deprecated; pass the config positionally or build "
+                "the monitor through MonitorStackConfig / "
+                "build_monitor_stack (see docs/ARCHITECTURE.md"
+                "#the-monitor-stack-monitorstackconfig)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = kwargs.pop("config")
+        if kwargs:
+            raise TypeError(
+                f"SafeMem() got unexpected keyword arguments "
+                f"{sorted(kwargs)}")
         self.config = (config or SafeMemConfig()).validate()
+        #: allocation sampler, or None in classic always-on mode.  A
+        #: rate-1.0/no-budget policy is *deliberately* mapped to None:
+        #: the hot path is then the historic one, instruction for
+        #: instruction, which the twin-machine equivalence test pins.
+        policy = self.config.sampling
+        self.sampler = (policy.sampler()
+                        if policy is not None and not policy.always_on
+                        else None)
         self.watcher = None
         self.leak = None
         self.corruption = None
@@ -91,6 +122,8 @@ class SafeMem(Monitor):
                       self.space_overhead_fraction, kind="gauge",
                       description="monitoring bytes / requested bytes "
                                   "(Table 4 metric)")
+        if self.sampler is not None:
+            self.sampler.register_metrics(metrics)
 
     def on_exit(self):
         if self.leak is not None:
@@ -106,6 +139,17 @@ class SafeMem(Monitor):
     # allocation interposition
     # ------------------------------------------------------------------
     def malloc(self, size, call_signature):
+        if self.sampler is not None and not self.sampler.should_sample():
+            # Unsampled fast path: a plain native allocation.  No
+            # guards, no leak tracking, no line alignment -- and thus
+            # no armed watchpoints, so the machine's zero-armed-lines
+            # load/store short-circuit stays enabled.  The sampling
+            # decision itself is host-side (a countdown decrement) and
+            # never ticks the simulated clock.
+            address = self.program.allocator.malloc(size)
+            self.program.allocator.lookup(address).sampled = False
+            self.requested_bytes += size
+            return address
         if self.corruption is not None:
             address = self.corruption.allocate(size, call_signature)
         else:
@@ -123,12 +167,35 @@ class SafeMem(Monitor):
         return address
 
     def free(self, address):
+        if self.sampler is not None and not self._is_sampled(address):
+            # The allocation bypassed the detectors at malloc time, so
+            # its free must too: no leak bookkeeping (it was never
+            # grouped), no quarantine, and the reclaimed memory goes
+            # straight back to the heap.
+            self.program.allocator.free(address)
+            return
         if self.leak is not None:
             self.leak.on_free(address)
         if self.corruption is not None:
             self.corruption.release(address)
         else:
             self.program.allocator.free(address)
+        if self.sampler is not None:
+            self.sampler.release_slot()
+
+    def _is_sampled(self, address):
+        """Did the sampler admit the allocation at ``address``?
+
+        Host-side O(1): corruption mode keys on the layout table (the
+        user address of a guarded buffer is interior to its block, so
+        the allocator can't resolve it); otherwise the allocation
+        record carries the flag.  Unknown addresses report as sampled
+        so invalid frees keep raising through the historic path.
+        """
+        if self.corruption is not None:
+            return self.corruption.owns(address)
+        allocation = self.program.allocator.lookup(address)
+        return allocation is None or allocation.sampled
 
     def realloc(self, address, new_size, call_signature):
         if address is None:

@@ -29,12 +29,18 @@ MIN_ALIGNMENT = 16
 class Allocation:
     """One live allocation."""
 
-    __slots__ = ("address", "size", "requested_size")
+    __slots__ = ("address", "size", "requested_size", "sampled")
 
     def __init__(self, address, size, requested_size):
         self.address = address
         self.size = size
         self.requested_size = requested_size
+        #: whether a sampling monitor admitted this allocation to its
+        #: detectors.  True by default (always-on mode monitors every
+        #: allocation); SafeMem flips it to False on the unsampled fast
+        #: path so ``free``/``realloc`` can route in O(1) without
+        #: consulting any watch machinery.
+        self.sampled = True
 
     @property
     def end(self):

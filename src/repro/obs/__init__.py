@@ -52,6 +52,13 @@ from repro.obs.metrics import (
     attr_reader,
 )
 from repro.obs.sampler import Sample, SamplingProfiler, render_top
+from repro.obs.stack import (
+    DEFAULT_SAMPLE_EVERY,
+    MonitorStack,
+    MonitorStackConfig,
+    add_monitoring_arguments,
+    build_monitor_stack,
+)
 from repro.obs.sink import (
     EVENTS_SCHEMA,
     JsonlSink,
@@ -61,6 +68,7 @@ from repro.obs.sink import (
 from repro.obs.trace import Span, Tracer
 
 __all__ = [
+    "DEFAULT_SAMPLE_EVERY",
     "DUMP_SCHEMA",
     "EVENTS_SCHEMA",
     "SCHEMA",
@@ -68,6 +76,8 @@ __all__ = [
     "AlertRule",
     "Counter",
     "ForensicRecorder",
+    "MonitorStack",
+    "MonitorStackConfig",
     "Gauge",
     "Histogram",
     "JsonlSink",
@@ -80,8 +90,9 @@ __all__ = [
     "Span",
     "TelemetryStream",
     "Tracer",
+    "add_monitoring_arguments",
     "attr_reader",
-    "capture_bundle",
+    "build_monitor_stack",
     "default_rules",
     "diff_documents",
     "dump_registry",

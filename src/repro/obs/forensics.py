@@ -348,14 +348,19 @@ def replay_bundle(bundle, until_cycle=None, break_on=None):
             "without run_info and cannot be replayed"
         )
     machine = machine_from_config(bundle.get("machine"))
-    monitor = make_monitor(run["monitor"])
+    monitoring = dict(run.get("monitoring") or {})
+    sampling = monitoring.get("sampling")
+    if sampling is not None:
+        from repro.core.sampling import SamplingPolicy
+        sampling = SamplingPolicy.from_dict(sampling)
+    monitor = make_monitor(run["monitor"], sampling=sampling)
 
     # Recreate the monitoring stack the original run carried: the alert
-    # engine emits ALERT events, so leaving it out would change the
-    # replayed event stream.
+    # engine emits ALERT events and the allocation sampler steers the
+    # heap layout, so leaving either out would change the replayed
+    # event stream.
     sampler = None
-    monitoring = run.get("monitoring")
-    if monitoring:
+    if monitoring.get("sample_every"):
         from repro.obs.alerts import AlertEngine, AlertRule
         from repro.obs.sampler import SamplingProfiler, leak_group_source
         sampler = SamplingProfiler(

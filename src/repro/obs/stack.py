@@ -1,0 +1,366 @@
+"""The monitor stack: one config, one factory, every front door.
+
+Before this module, ``repro monitor``, ``repro fleet``, ``repro
+validate``, and ``repro run`` each hand-copied a flag set and
+hand-wired its own monitor / sampling-profiler / alert-engine /
+stream / forensic-recorder combination.  Now there is exactly one
+description of a production monitoring stack:
+
+- :class:`MonitorStackConfig` -- a JSON-able dataclass carrying the
+  monitor choice, the allocation :class:`~repro.core.sampling.
+  SamplingPolicy`, and the sampler/alert/stream/dump settings;
+- :func:`add_monitoring_arguments` -- the single argparse parent all
+  four commands mount, so they accept *identical* monitoring flags;
+- :meth:`MonitorStackConfig.from_args` -- flags to config, one way;
+- :func:`build_monitor_stack` -- config to a live :class:`MonitorStack`
+  (machine + monitor + profiler + alert engine + stream + recorder)
+  with a start/stop/close lifecycle.
+
+The config crosses process boundaries (fleet workers) through
+``to_dict``/``from_dict`` and derives per-machine sampling seeds with
+:meth:`MonitorStackConfig.for_machine`.
+"""
+
+import argparse
+import pathlib
+from dataclasses import dataclass, replace
+
+from repro.common.errors import ConfigurationError
+from repro.core.sampling import SamplingPolicy
+
+#: default profiler interval the ``repro monitor`` command uses.
+DEFAULT_SAMPLE_EVERY = 100_000
+
+
+@dataclass(frozen=True)
+class MonitorStackConfig:
+    """Everything needed to stand up one production monitoring stack."""
+
+    #: monitor short name (see ``repro.analysis.runner.MONITOR_FACTORIES``).
+    monitor: str = "safemem"
+    #: allocation sampling policy; None = classic always-on monitoring.
+    sampling: SamplingPolicy = None
+    #: sampling-profiler interval in cycles; None = no profiler.
+    sample_every: int = None
+    #: alert rules spec: "default", "none", or a JSON rule file path.
+    rules: str = "default"
+    #: stream ``repro.events/v1`` records to this rotating JSONL path.
+    stream: str = None
+    #: rotation threshold for ``stream`` (None = sink default).
+    stream_max_bytes: int = None
+    #: write ``repro.dump/v1`` forensic bundles here on panic.
+    dump_dir: str = None
+    #: also dump when any alert reaches ``firing`` (defaults
+    #: ``dump_dir`` to ./dumps).
+    dump_on_alert: bool = False
+
+    # ------------------------------------------------------------------
+    # validation / derived views
+    # ------------------------------------------------------------------
+    def validate(self):
+        if self.sample_every is not None and self.sample_every < 1:
+            raise ConfigurationError(
+                f"--sample-every must be >= 1 cycle, got "
+                f"{self.sample_every}")
+        if self.stream_max_bytes is not None \
+                and self.stream_max_bytes < 1:
+            raise ConfigurationError(
+                f"--stream-max-bytes must be >= 1, got "
+                f"{self.stream_max_bytes}")
+        if self.sampling is not None:
+            self.sampling.validate()
+        return self
+
+    @property
+    def wants_profiler(self):
+        return self.sample_every is not None
+
+    @property
+    def wants_forensics(self):
+        return self.dump_dir is not None or self.dump_on_alert
+
+    def resolved_dump_dir(self):
+        """``--dump-on-alert`` without ``--dump-dir`` lands in ./dumps."""
+        return self.dump_dir or ("dumps" if self.dump_on_alert
+                                 else None)
+
+    def for_machine(self, index):
+        """Per-fleet-machine config: distinct sampling seed stream."""
+        if self.sampling is None:
+            return self
+        return replace(self, sampling=self.sampling.for_machine(index))
+
+    # ------------------------------------------------------------------
+    # codecs
+    # ------------------------------------------------------------------
+    def to_dict(self):
+        return {
+            "monitor": self.monitor,
+            "sampling": (self.sampling.to_dict()
+                         if self.sampling is not None else None),
+            "sample_every": self.sample_every,
+            "rules": self.rules,
+            "stream": self.stream,
+            "stream_max_bytes": self.stream_max_bytes,
+            "dump_dir": self.dump_dir,
+            "dump_on_alert": self.dump_on_alert,
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        payload = dict(payload)
+        sampling = payload.get("sampling")
+        if sampling is not None:
+            payload["sampling"] = SamplingPolicy.from_dict(sampling)
+        return cls(**payload).validate()
+
+    @classmethod
+    def from_args(cls, args, monitor=None):
+        """Build the stack config from parsed monitoring arguments.
+
+        Works for any command that mounted
+        :func:`add_monitoring_arguments`; flags a command does not
+        expose fall back to their defaults.  ``monitor`` overrides the
+        parsed ``--monitor`` (``validate`` has no monitor choice).
+        """
+        rate = getattr(args, "sample_rate", None)
+        seed = getattr(args, "sample_seed", None)
+        budget = getattr(args, "guard_budget", None)
+        sampling = None
+        if rate is not None or seed is not None or budget is not None:
+            sampling = SamplingPolicy(
+                rate=1.0 if rate is None else rate,
+                seed=seed if seed is not None else 0,
+                budget=budget,
+            )
+        return cls(
+            monitor=(monitor if monitor is not None
+                     else getattr(args, "monitor", "safemem")),
+            sampling=sampling,
+            sample_every=getattr(args, "sample_every", None),
+            rules=getattr(args, "rules", "default"),
+            stream=getattr(args, "stream", None),
+            stream_max_bytes=getattr(args, "stream_max_bytes", None),
+            dump_dir=getattr(args, "dump_dir", None),
+            dump_on_alert=getattr(args, "dump_on_alert", False),
+        ).validate()
+
+
+def add_monitoring_arguments(parent=None, sample_every_default=None):
+    """The shared monitoring flag set, as a reusable argparse parent.
+
+    Every command that runs workloads mounts this parent (``monitor``,
+    ``fleet``, ``validate``, ``run``), so the same ``--sample-rate`` /
+    ``--sample-every`` / ``--rules`` / ``--stream`` / ``--dump-dir`` /
+    ``--dump-on-alert`` spelling works everywhere and feeds one
+    :meth:`MonitorStackConfig.from_args`.
+
+    ``sample_every_default`` overrides the profiler interval default
+    for commands whose whole point is the profiler (``repro monitor``
+    defaults it to :data:`DEFAULT_SAMPLE_EVERY`).  It must be baked in
+    here rather than via ``set_defaults`` on the mounting subparser:
+    argparse parents share Action objects, so a post-hoc
+    ``set_defaults`` would leak the default into every command.
+    """
+    parent = parent or argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("monitoring stack")
+    group.add_argument(
+        "--sample-rate", type=float, default=None, metavar="RATE",
+        help="sample this fraction of allocations for monitoring "
+             "(GWP-ASan-style production mode; default: monitor "
+             "every allocation)",
+    )
+    group.add_argument(
+        "--sample-seed", type=int, default=None, metavar="SEED",
+        help="base seed of the allocation-sampling schedule "
+             "(default 0; fleet machines derive per-machine seeds)",
+    )
+    group.add_argument(
+        "--guard-budget", type=int, default=None, metavar="N",
+        help="max concurrently guarded sampled allocations; when the "
+             "pool saturates the sampling interval backs off "
+             "adaptively (default: unbounded)",
+    )
+    group.add_argument(
+        "--sample-every", type=int, default=sample_every_default,
+        metavar="CYCLES",
+        help="run the sampling profiler + alert engine at this "
+             "cycle interval (default: "
+             + (str(sample_every_default)
+                if sample_every_default is not None else "off") + ")",
+    )
+    group.add_argument(
+        "--rules", default="default", metavar="default|none|FILE",
+        help="alert rules for --sample-every: the built-in "
+             "production set, none, or a JSON rule file",
+    )
+    group.add_argument(
+        "--stream", metavar="PATH", default=None,
+        help="stream repro.events/v1 records to a rotating JSONL "
+             "file (fleet/validate machines write per-machine "
+             "suffixed files)",
+    )
+    group.add_argument(
+        "--stream-max-bytes", type=int, default=None,
+        help="rotation threshold for --stream (default 1 MiB)",
+    )
+    group.add_argument(
+        "--dump-dir", default=None, metavar="DIR",
+        help="write repro.dump/v1 forensic bundles here on kernel "
+             "panic (and, with --dump-on-alert, on firing alerts)",
+    )
+    group.add_argument(
+        "--dump-on-alert", action="store_true",
+        help="also dump a bundle when any alert reaches firing "
+             "(defaults --dump-dir to ./dumps)",
+    )
+    return parent
+
+
+def _labelled_path(path, label):
+    """Insert a per-machine label before the stream file suffix."""
+    if label is None:
+        return path
+    pure = pathlib.PurePath(path)
+    if pure.suffix:
+        return str(pure.with_name(f"{pure.stem}.{label}{pure.suffix}"))
+    return str(pure.with_name(f"{pure.name}.{label}"))
+
+
+class MonitorStack:
+    """One live monitoring stack around one machine and monitor.
+
+    Built by :func:`build_monitor_stack`; the owner brackets the
+    workload with :meth:`start` / :meth:`stop` and finishes with
+    :meth:`close` (idempotent, exception-safe) so streams always flush
+    and recorders always detach.
+    """
+
+    def __init__(self, config, machine, monitor, sampler=None,
+                 engine=None, sink=None, stream=None, recorder=None,
+                 alert_rules=()):
+        self.config = config
+        self.machine = machine
+        self.monitor = monitor
+        self.sampler = sampler
+        self.engine = engine
+        self.sink = sink
+        self.stream = stream
+        self.recorder = recorder
+        self.alert_rules = list(alert_rules)
+        self._closed = False
+
+    def start(self):
+        if self.sampler is not None:
+            self.sampler.start()
+        return self
+
+    def stop(self):
+        if self.sampler is not None:
+            self.sampler.stop()
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        if self.recorder is not None:
+            self.recorder.detach()
+        if self.stream is not None:
+            self.stream.close()
+
+    # -- summaries -----------------------------------------------------
+    def alert_summary(self):
+        return self.engine.summary() if self.engine is not None else {}
+
+    @property
+    def alerts_fired(self):
+        return sum(fired for fired, _, _ in
+                   self.alert_summary().values())
+
+    @property
+    def alerts_resolved(self):
+        return sum(resolved for _, resolved, _ in
+                   self.alert_summary().values())
+
+    @property
+    def bundle_paths(self):
+        return (list(self.recorder.bundle_paths)
+                if self.recorder is not None else [])
+
+    def monitoring_info(self):
+        """The ``monitoring`` sub-dict a forensic bundle records."""
+        info = {}
+        if self.config.wants_profiler:
+            info["sample_every"] = self.config.sample_every
+            info["rules"] = [rule.to_dict()
+                             for rule in self.alert_rules]
+        if self.config.sampling is not None:
+            info["sampling"] = self.config.sampling.to_dict()
+        return info
+
+
+def build_monitor_stack(config, machine=None, monitor=None,
+                        run_info=None, label=None):
+    """Stand up a :class:`MonitorStack` from one config.
+
+    ``machine``/``monitor`` reuse pre-built instances (the monitor must
+    already match ``config.monitor``/``config.sampling``); when None
+    they are created here, which is how every command now boots its
+    stack.  ``run_info`` (workload/monitor/buggy/requests/seed) arms a
+    forensic recorder when the config asks for dumps; ``label``
+    suffixes per-machine stream files and dump bundles in fleet runs.
+    """
+    # Lazy imports: obs.stack is imported by the CLI front end, while
+    # the factories below pull in the whole analysis/machine layer.
+    from repro.analysis.runner import CACHE_SIZE, DRAM_SIZE, make_monitor
+    from repro.machine.machine import Machine
+
+    config.validate()
+    if machine is None:
+        machine = Machine(dram_size=DRAM_SIZE, cache_size=CACHE_SIZE,
+                          cache_ways=16)
+    if monitor is None:
+        monitor = make_monitor(config.monitor, sampling=config.sampling)
+
+    sampler = engine = None
+    rules = []
+    if config.wants_profiler:
+        from repro.obs.alerts import AlertEngine, resolve_rules
+        from repro.obs.sampler import SamplingProfiler, leak_group_source
+        rules = resolve_rules(config.rules)
+        sampler = SamplingProfiler(
+            machine, interval_cycles=config.sample_every,
+            group_source=leak_group_source(monitor))
+        engine = AlertEngine(rules, events=machine.events,
+                             metrics=machine.metrics)
+        sampler.add_listener(engine.evaluate)
+
+    sink = stream = None
+    if config.stream is not None:
+        from repro.obs.sink import (
+            DEFAULT_MAX_BYTES,
+            JsonlSink,
+            TelemetryStream,
+        )
+        sink = JsonlSink(_labelled_path(config.stream, label),
+                         max_bytes=config.stream_max_bytes
+                         or DEFAULT_MAX_BYTES)
+        stream = TelemetryStream(sink, machine=machine,
+                                 sampler=sampler, engine=engine)
+
+    stack = MonitorStack(config, machine, monitor, sampler=sampler,
+                         engine=engine, sink=sink, stream=stream,
+                         alert_rules=rules)
+    if config.wants_forensics and run_info is not None:
+        from repro.obs.forensics import ForensicRecorder
+        info = dict(run_info)
+        monitoring = stack.monitoring_info()
+        if monitoring:
+            info["monitoring"] = monitoring
+        stack.recorder = ForensicRecorder(
+            machine, monitor=monitor, run_info=info,
+            dump_dir=config.resolved_dump_dir(),
+            label=label or info.get("workload", "run"),
+            on_alert=config.dump_on_alert,
+        )
+    return stack

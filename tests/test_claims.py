@@ -24,6 +24,7 @@ from repro.analysis.experiments import (
     Table5Result,
     Table5Row,
 )
+from repro.analysis.fleet import SamplingCurveResult, SamplingPoint
 
 
 def good_context():
@@ -61,9 +62,26 @@ def good_context():
         ],
         run_seconds={"ypserv1": 0.1, "proftpd": 0.1, "squid1": 0.1},
     )
+    sampling = SamplingCurveResult(
+        workload="ypserv2", machines=8,
+        points=[
+            SamplingPoint(rate=0.0, machines=8, detected=0,
+                          detection_probability=0.0,
+                          mean_overhead_pct=0.0,
+                          sampled_allocs=0, skipped_allocs=1200),
+            SamplingPoint(rate=0.1, machines=8, detected=6,
+                          detection_probability=0.75,
+                          mean_overhead_pct=1.0,
+                          sampled_allocs=120, skipped_allocs=1080),
+            SamplingPoint(rate=1.0, machines=8, detected=8,
+                          detection_probability=1.0,
+                          mean_overhead_pct=10.0,
+                          sampled_allocs=0, skipped_allocs=0),
+        ],
+    )
     return {
         "table2": table2, "table3": table3, "table4": table4,
-        "table5": table5, "figure3": figure3,
+        "table5": table5, "figure3": figure3, "sampling": sampling,
     }
 
 
@@ -91,6 +109,22 @@ class TestClaimChecks:
         context["table5"].rows[0].after_pruning = 5
         results = {r.claim.ident: r for r in validate(context=context)}
         assert not results["T5-counts"].passed
+
+    def test_detection_at_rate_zero_fails_f4(self):
+        context = good_context()
+        context["sampling"].points[0].detected = 2
+        context["sampling"].points[0].detection_probability = 0.25
+        results = {r.claim.ident: r for r in validate(context=context)}
+        assert not results["F4-sampling"].passed
+        assert "rate 0.0" in results["F4-sampling"].evidence
+
+    def test_expensive_sparse_sampling_fails_f4(self):
+        # The whole point is cheapness: a sparse rate that costs more
+        # than a quarter of always-on breaks the trade.
+        context = good_context()
+        context["sampling"].points[1].mean_overhead_pct = 9.0
+        results = {r.claim.ident: r for r in validate(context=context)}
+        assert not results["F4-sampling"].passed
 
     def test_late_stability_fails_f3(self):
         context = good_context()
@@ -135,4 +169,4 @@ class TestClaimHygiene:
         for claim in CLAIMS:
             assert claim.statement
             assert claim.source in ("table2", "table3", "table4",
-                                    "table5", "figure3")
+                                    "table5", "figure3", "sampling")

@@ -41,7 +41,9 @@ class TestJobEnumeration:
         assert idents[0] == "table2"
         assert idents.index("table3:ypserv1") < idents.index(
             "table4:ypserv1")
-        assert idents[-1].startswith("figure3:")
+        assert idents.index("figure3:ypserv1") < idents.index(
+            f"sampling:{fleet.SAMPLING_CURVE_RATES[0]:g}")
+        assert idents[-1].startswith("sampling:")
 
     def test_requests_declared_in_params(self):
         specs = fleet.enumerate_validation_jobs(requests=33)

@@ -56,6 +56,7 @@ from repro.obs.forensics import (
     write_bundle,
 )
 from repro.obs.sampler import SamplingProfiler, leak_group_source
+from repro.obs.stack import MonitorStackConfig
 
 
 def run_cli(*argv):
@@ -508,9 +509,11 @@ class TestDiff:
 class TestFleetForensics:
     def test_fleet_dump_on_alert_links_bundles(self, tmp_path):
         result = fleet.run_fleet(
-            "ypserv1", machines=1, monitor="safemem-ml", buggy=True,
-            requests=400, jobs=1, sample_every=30_000_000,
-            dump_dir=tmp_path, dump_on_alert=True,
+            "ypserv1", machines=1, buggy=True, requests=400, jobs=1,
+            stack=MonitorStackConfig(monitor="safemem-ml",
+                                     sample_every=30_000_000,
+                                     dump_dir=str(tmp_path),
+                                     dump_on_alert=True),
         )
         report = result.reports[0]
         assert report.bundles, "no forensic bundle written"

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 from repro.analysis import paper
 from repro.analysis.experiments import (
+    experiment_codec_matrix,
     experiment_figure3,
     experiment_table2,
     experiment_table3,
@@ -152,6 +153,24 @@ def _f3_stability(context):
     return True, "all groups stable within the first 10% of each run"
 
 
+def _hw_codecs(context):
+    rows = context["codecs"].rows
+    if len(rows) < 3:
+        return False, f"only {len(rows)} chipset profiles measured"
+    if len({row.codec for row in rows}) < 3:
+        return False, "fewer than 3 distinct codecs in the matrix"
+    broken = [row.profile for row in rows if not row.contract_ok]
+    if broken:
+        return False, f"watchpoint contract broken on: {broken}"
+    repaired = [row.profile for row in rows
+                if row.false_scrub_corrections]
+    if repaired:
+        return False, f"scrubber silently repaired armed lines: {repaired}"
+    return True, (f"{len(rows)} profiles x "
+                  f"{len({row.codec for row in rows})} codecs: scramble "
+                  "uncorrectable, scrub reports armed lines untouched")
+
+
 CLAIMS = [
     Claim("T2-values", "syscall costs match the paper's Table 2",
           _t2_microseconds, "table2"),
@@ -175,6 +194,8 @@ CLAIMS = [
           _f3_stability, "figure3"),
     Claim("F4-sampling", "fleet sampling trades detection probability "
           "for overhead", _f4_sampling, "sampling"),
+    Claim("HW-codecs", "the watchpoint contract holds on every ECC "
+          "codec backend", _hw_codecs, "codecs"),
 ]
 
 
@@ -189,6 +210,7 @@ def gather_context(requests=250):
         "table4": experiment_table4(requests=requests),
         "table5": experiment_table5(),
         "figure3": experiment_figure3(),
+        "codecs": experiment_codec_matrix(),
         "sampling": experiment_sampling_curve(),
     }
 

@@ -441,3 +441,184 @@ def experiment_figure3(requests=None, min_frees=3):
         series.append(one)
         run_seconds[name] = seconds
     return Figure3Result(series=series, run_seconds=run_seconds)
+
+
+# ----------------------------------------------------------------------
+# Hardware-diversity matrix: per-codec watchpoint-contract tradeoffs
+# ----------------------------------------------------------------------
+@dataclass
+class CodecTradeoffRow:
+    """One chipset profile's measured watchpoint-contract behaviour."""
+
+    profile: str
+    codec: str
+    check_bits: int
+    #: simulated check-bit storage overhead (check bits / data bits).
+    overhead_pct: float
+    #: the verified scramble pattern, as data-bit positions.
+    scramble: str
+    #: wall cycles from arming a watchpoint to fault delivery, across
+    #: one profile scrub interval plus a full scrub pass plus the
+    #: faulting access (slower scrub cadences widen this window).
+    detection_cycles: int
+    #: armed lines the scrub pass *reported* as uncorrectable (must be
+    #: the full armed count -- the scrubber sees the fault but must not
+    #: clear it).
+    scrub_faults_reported: int
+    #: armed lines whose bytes the scrubber rewrote ("silent repair");
+    #: any non-zero value breaks the watchpoint contract.
+    false_scrub_corrections: int
+    #: injected background single-bit upsets (profile.fault_noise
+    #: scaled over the noise buffer) and how many the codec corrected.
+    noise_flips: int
+    noise_corrected: int
+    #: the contract: scrambled write => uncorrectable fault on next
+    #: read, scrubber never silently repairs, noise fully corrected.
+    contract_ok: bool
+
+
+@dataclass
+class CodecMatrixResult:
+    """Cross-backend tradeoff table (EXPERIMENTS.md hardware matrix)."""
+
+    rows: list
+
+    def render(self):
+        return render_table(
+            "Hardware matrix: watchpoint contract per ECC codec",
+            ["Profile", "Codec", "Check bits", "Overhead",
+             "Detect (cycles)", "Scrub faults", "Silent repairs",
+             "Noise corrected", "Contract"],
+            [(row.profile, row.codec, str(row.check_bits),
+              fmt_percent(row.overhead_pct),
+              str(row.detection_cycles),
+              str(row.scrub_faults_reported),
+              str(row.false_scrub_corrections),
+              f"{row.noise_corrected}/{row.noise_flips}",
+              "holds" if row.contract_ok else "BROKEN")
+             for row in self.rows],
+            note="scrambled write => uncorrectable fault on next read; "
+                 "the scrubber reports armed lines but never silently "
+                 "repairs them (docs/HARDWARE.md)",
+        )
+
+
+#: lines of the noise buffer the tradeoff experiment injects upsets
+#: into; the flip count is profile.fault_noise scaled over this many
+#: simulated group reads.
+CODEC_NOISE_LINES = 32
+
+
+def codec_tradeoff_row(profile_name):
+    """Measure one chipset profile's watchpoint-contract behaviour.
+
+    Boots a machine on the profile, arms a watchpoint over a line of
+    known data, waits out the profile's scrub interval, runs a full
+    scrub pass (no SafeMem suspend hooks -- the worst case), verifies
+    the armed line was reported-but-untouched, then takes the fault on
+    the next read.  Separately injects the profile's background
+    fault-noise rate over an unwatched buffer and counts corrections.
+    """
+    import random
+
+    from repro.common.constants import ECC_GROUP_BYTES
+    from repro.ecc.controller import EccMode
+    from repro.ecc.profile import get_profile
+
+    profile = get_profile(profile_name)
+    machine = Machine(dram_size=4 * 1024 * 1024,
+                      ecc_mode=EccMode.CORRECT_AND_SCRUB,
+                      profile=profile_name)
+    kernel = machine.kernel
+    codec = machine.controller.codec
+    kernel.mmap(BASE, 4 * PAGE_SIZE)
+
+    # -- background noise: seeded single-bit upsets over an unwatched
+    # buffer, corrected (and counted) by the codec on read-back.
+    rng = random.Random(f"codec-noise:{profile.name}")
+    noise_base = BASE + PAGE_SIZE
+    noise_bytes = CODEC_NOISE_LINES * CACHE_LINE_SIZE
+    payload = bytes((index * 37 + 11) & 0xFF
+                    for index in range(noise_bytes))
+    machine.store(noise_base, payload)
+    group_reads = noise_bytes // ECC_GROUP_BYTES
+    noise_flips = max(1, round(profile.fault_noise * group_reads / 100))
+    flipped_groups = set()
+    for _ in range(noise_flips):
+        while True:
+            offset = rng.randrange(noise_bytes)
+            paddr = machine.mmu.translate(noise_base + offset)
+            group = paddr - paddr % ECC_GROUP_BYTES
+            if group not in flipped_groups:
+                flipped_groups.add(group)
+                break
+        machine.cache.flush_line(paddr)
+        machine.dram.flip_data_bit(paddr, rng.randrange(8))
+    corrected_before = machine.controller.corrected_errors
+    assert machine.load(noise_base, noise_bytes) == payload
+    noise_corrected = machine.controller.corrected_errors \
+        - corrected_before
+
+    # -- the watchpoint contract under scrub pressure.
+    fired = []
+
+    def handler(info):
+        fired.append(machine.clock.wall_time)
+        kernel.disable_watch_memory(BASE, restore_data=original)
+        return True
+
+    kernel.register_ecc_fault_handler(handler)
+    original = b"codec tradeoff line bytes 0123456789 codec tradeoff!!padding...."[:CACHE_LINE_SIZE]
+    machine.store(BASE, original)
+    machine.load(BASE, CACHE_LINE_SIZE)
+    armed_at = machine.clock.wall_time
+    region = kernel.watch_memory(BASE, CACHE_LINE_SIZE)
+    pline = next(iter(region.lines.values()))
+    armed_bytes = machine.dram.read_raw(pline, CACHE_LINE_SIZE)
+    armed_check = machine.dram.read_check(pline)
+
+    # Wait out the profile's scrub cadence, then scrub everything.
+    machine.clock.idle(profile.scrub_interval_cycles)
+    assert kernel.scrubber.due()
+    scrub_faults = kernel.run_scrub_pass()
+    scrub_faults_reported = sum(
+        1 for fault in scrub_faults if fault.line_address == pline)
+    silently_repaired = (
+        machine.dram.read_raw(pline, CACHE_LINE_SIZE) != armed_bytes
+        or machine.dram.read_check(pline) != armed_check)
+    false_scrub_corrections = 1 if silently_repaired else 0
+
+    # The next read must deliver the fault, and the restored line must
+    # decode cleanly afterwards.
+    readback = machine.load(BASE, CACHE_LINE_SIZE)
+    detection_cycles = (fired[0] - armed_at) if fired else -1
+    contract_ok = bool(
+        fired
+        and scrub_faults_reported == 1
+        and not silently_repaired
+        and readback == original
+        and noise_corrected == noise_flips
+    )
+    return CodecTradeoffRow(
+        profile=profile.name,
+        codec=codec.name,
+        check_bits=codec.check_bits,
+        overhead_pct=codec.overhead_percent,
+        scramble="/".join(str(bit)
+                          for bit in codec.scramble_bit_positions),
+        detection_cycles=detection_cycles,
+        scrub_faults_reported=scrub_faults_reported,
+        false_scrub_corrections=false_scrub_corrections,
+        noise_flips=noise_flips,
+        noise_corrected=noise_corrected,
+        contract_ok=contract_ok,
+    )
+
+
+def experiment_codec_matrix():
+    """The cross-backend tradeoff table over every chipset profile."""
+    from repro.ecc.profile import profile_names
+
+    return CodecMatrixResult(rows=[
+        codec_tradeoff_row(name) for name in profile_names()
+    ])

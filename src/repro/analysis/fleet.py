@@ -42,6 +42,8 @@ from dataclasses import asdict, dataclass, field
 
 from repro.analysis.experiments import (
     FIGURE3_WORKLOADS,
+    CodecMatrixResult,
+    CodecTradeoffRow,
     Figure3Result,
     Figure3Series,
     Table2Result,
@@ -51,6 +53,7 @@ from repro.analysis.experiments import (
     Table4Row,
     Table5Result,
     Table5Row,
+    codec_tradeoff_row,
     experiment_table2,
     figure3_series,
     table3_row,
@@ -72,6 +75,7 @@ from repro.common.errors import (
     MachinePanic,
 )
 from repro.core.sampling import SamplingPolicy
+from repro.ecc.profile import profile_names
 from repro.obs.merge import dump_registry, merge_dumps
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.stack import MonitorStackConfig, build_monitor_stack
@@ -180,7 +184,7 @@ def _run_fleet_machine(params):
         result = run_workload(
             params["workload"], params["monitor"], buggy=params["buggy"],
             requests=params["requests"], seed=params["seed"],
-            machine=machine, monitor=monitor,
+            machine=machine, monitor=monitor, profile=config.profile,
         )
     except MachinePanic as error:
         if machine is None:
@@ -272,6 +276,11 @@ JOB_KINDS = {
         encode=asdict,
         decode=lambda payload: MachineReport(**payload),
     ),
+    "codec-row": _JobKind(
+        run=lambda params: codec_tradeoff_row(params["profile"]),
+        encode=asdict,
+        decode=lambda payload: CodecTradeoffRow(**payload),
+    ),
     "sampling-point": _JobKind(
         run=lambda params: sampling_curve_point(
             params["rate"], workload=params["workload"],
@@ -299,6 +308,9 @@ def enumerate_validation_jobs(requests=250):
     for name in FIGURE3_WORKLOADS:
         specs.append(("figure3-series", f"figure3:{name}",
                       {"name": name, "requests": None}))
+    for name in profile_names():
+        specs.append(("codec-row", f"codec:{name}",
+                      {"profile": name}))
     for rate in SAMPLING_CURVE_RATES:
         specs.append(("sampling-point", f"sampling:{rate:g}",
                       {"rate": rate,
@@ -614,6 +626,9 @@ def assemble_context(payloads):
             payloads[f"table5:{name}"] for name in LEAK_WORKLOADS
         ]),
         "figure3": Figure3Result(series=series, run_seconds=run_seconds),
+        "codecs": CodecMatrixResult(rows=[
+            payloads[f"codec:{name}"] for name in profile_names()
+        ]),
         "sampling": SamplingCurveResult(
             workload=SAMPLING_CURVE_WORKLOAD,
             machines=SAMPLING_CURVE_MACHINES,
@@ -684,7 +699,8 @@ def run_validation(requests=250, jobs=None, cache_dir=None,
                          context=context, outcome=outcome)
 
 
-RESULT_FILES = ("table2", "table3", "table4", "table5", "figure3")
+RESULT_FILES = ("table2", "table3", "table4", "table5", "figure3",
+                "codecs")
 
 
 def write_result_artifacts(context, results_dir):

@@ -143,7 +143,8 @@ def make_monitor(name, sampling=None):
 def run_workload(workload_name, monitor_name="native", buggy=False,
                  requests=None, seed=0, dram_size=DRAM_SIZE,
                  heap_size=HEAP_SIZE, cache_size=CACHE_SIZE,
-                 monitor=None, machine=None, release=False):
+                 monitor=None, machine=None, release=False,
+                 profile=None):
     """Run one workload under one monitor; return a :class:`RunResult`.
 
     ``buggy=False`` is the paper's overhead-measurement setting (normal
@@ -161,7 +162,7 @@ def run_workload(workload_name, monitor_name="native", buggy=False,
     """
     if machine is None:
         machine = Machine(dram_size=dram_size, cache_size=cache_size,
-                          cache_ways=16)
+                          cache_ways=16, profile=profile)
     if monitor is None:
         monitor = make_monitor(monitor_name)
     start = machine.metrics.snapshot()

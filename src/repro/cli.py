@@ -25,7 +25,8 @@ Commands:
   deltas, histogram shift, alerts appearing/disappearing);
 - ``run``     runs one workload under one monitor and prints a summary;
 - ``stats``   runs one workload and prints its metrics snapshot;
-- ``list``    shows the available workloads and monitors.
+- ``list``    shows the available workloads, monitors, and chipset
+  profiles.
 
 ``run``, ``monitor``, ``fleet``, and ``validate`` all mount the same
 monitoring-stack argument group (one argparse parent, one
@@ -749,6 +750,12 @@ def command_list(out):
     out.write("\nmonitors:\n")
     for name in sorted(MONITOR_FACTORIES):
         out.write(f"  {name}\n")
+    out.write("\nchipset profiles (--profile; docs/HARDWARE.md):\n")
+    from repro.ecc.profile import get_profile, profile_names
+    for name in profile_names():
+        profile = get_profile(name)
+        out.write(f"  {name:<16} codec={profile.codec:<9} "
+                  f"scrub={profile.scrub_interval_cycles:,} cycles\n")
     return 0
 
 

@@ -20,7 +20,6 @@ from enum import Enum
 
 from repro.common.constants import CACHE_LINE_SIZE
 from repro.common.errors import PinLimitExceeded, SyscallError
-from repro.kernel.kernel import scramble_bytes
 
 
 class WatchTag(Enum):
@@ -58,6 +57,9 @@ class EccWatchManager:
     def __init__(self, machine):
         self.machine = machine
         self.kernel = machine.kernel
+        # Expected-scramble computation must use the same codec the
+        # kernel armed the lines with (chipset profiles vary it).
+        self._scramble_bytes = self.kernel.controller.codec.scramble_bytes
         self._by_region = {}
         self._by_line = {}
         self.arm_count = 0
@@ -181,7 +183,7 @@ class EccWatchManager:
             self.unclaimed_faults += 1
             return False
         current = self.kernel.peek_watched_line(vline)
-        expected = scramble_bytes(watch.original_line(vline))
+        expected = self._scramble_bytes(watch.original_line(vline))
         if current != expected:
             # The line does not carry the scramble signature: a real
             # hardware error struck a watched (non-critical) region.

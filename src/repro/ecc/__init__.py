@@ -1,11 +1,17 @@
-"""ECC memory substrate: SEC-DED codec, DRAM model, controller, scrubber."""
+"""ECC memory substrate: pluggable codecs, DRAM model, controller, scrubber."""
 
 from repro.ecc.chipset import Chipset, LoggedError
 from repro.ecc.codec import (
+    CODECS,
     DATA_POSITIONS,
+    ChipkillCodec,
+    Codec,
     DecodeResult,
     DecodeStatus,
+    SecDaecCodec,
     SecDedCodec,
+    codec_names,
+    get_codec,
     scramble_syndrome,
 )
 from repro.ecc.controller import EccMode, MemoryController
@@ -16,15 +22,28 @@ from repro.ecc.faults import (
     FaultSeverity,
     UncorrectableEccError,
 )
+from repro.ecc.profile import (
+    DEFAULT_PROFILE,
+    PROFILES,
+    ChipsetProfile,
+    get_profile,
+    profile_names,
+)
 from repro.ecc.scrubber import Scrubber
 
 __all__ = [
     "Chipset",
     "LoggedError",
+    "CODECS",
     "DATA_POSITIONS",
+    "ChipkillCodec",
+    "Codec",
     "DecodeResult",
     "DecodeStatus",
+    "SecDaecCodec",
     "SecDedCodec",
+    "codec_names",
+    "get_codec",
     "scramble_syndrome",
     "EccMode",
     "MemoryController",
@@ -33,5 +52,10 @@ __all__ = [
     "FaultOrigin",
     "FaultSeverity",
     "UncorrectableEccError",
+    "DEFAULT_PROFILE",
+    "PROFILES",
+    "ChipsetProfile",
+    "get_profile",
+    "profile_names",
     "Scrubber",
 ]

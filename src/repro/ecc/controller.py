@@ -51,6 +51,13 @@ class MemoryController:
         self.dram = dram
         self.mode = mode
         self.codec = codec or SecDedCodec()
+        installed = getattr(dram, "check_bytes_per_group", None)
+        if installed is not None and installed != self.codec.check_bytes:
+            raise ConfigurationError(
+                f"codec {self.codec.name!r} needs "
+                f"{self.codec.check_bytes} check byte(s) per group but "
+                f"the installed DRAM stores {installed}"
+            )
         #: Called with an :class:`EccFault` for every reported event
         #: (both corrected and uncorrectable).  The kernel registers
         #: itself here; ``None`` means events go unreported.
@@ -149,6 +156,7 @@ class MemoryController:
         if self.codec.encode_words(data) == checks:
             self.clean_line_reads += 1
             return data
+        width = self.codec.check_bytes
         out = bytearray()
         for index in range(GROUPS_PER_LINE):
             offset = index * ECC_GROUP_BYTES
@@ -156,7 +164,12 @@ class MemoryController:
             word = int.from_bytes(
                 data[offset:offset + ECC_GROUP_BYTES], "little"
             )
-            check = checks[index]
+            if width == 1:
+                check = checks[index]
+            else:
+                check = int.from_bytes(
+                    checks[index * width:(index + 1) * width], "little"
+                )
             self.group_decodes += 1
             result = self.codec.decode(word, check)
             if result.status is DecodeStatus.CORRECTED:
@@ -174,6 +187,7 @@ class MemoryController:
                         severity=FaultSeverity.CORRECTED,
                         origin=origin,
                         syndrome=result.syndrome,
+                        codec=self.codec.name,
                     )
                 )
                 word = result.data if self.correction_active else word
@@ -185,6 +199,7 @@ class MemoryController:
                     severity=FaultSeverity.UNCORRECTABLE,
                     origin=origin,
                     syndrome=result.syndrome,
+                    codec=self.codec.name,
                 )
                 self._report(fault)
                 raise UncorrectableEccError(fault)

@@ -1,10 +1,12 @@
 """Physical DRAM model that stores data bits and ECC check bits.
 
-The DRAM itself is dumb storage: it keeps a byte array of data and one
-check byte per 64-bit ECC group.  All encoding, checking, correction
-and fault reporting happens in the :mod:`repro.ecc.controller`, exactly
-as on real hardware where the DIMM stores extra bits and the memory
-controller implements the code.
+The DRAM itself is dumb storage: it keeps a byte array of data and a
+configurable number of check bytes per 64-bit ECC group (one for the
+SEC-DED/SEC-DAEC codes, three for the chipkill-style Reed-Solomon
+code).  All encoding, checking, correction and fault reporting happens
+in the :mod:`repro.ecc.controller`, exactly as on real hardware where
+the DIMM stores extra bits and the memory controller implements the
+code.
 """
 
 from repro.common.constants import ECC_GROUP_BYTES, is_aligned
@@ -12,17 +14,30 @@ from repro.common.errors import BusError, ConfigurationError
 
 
 class PhysicalMemory:
-    """Installed DRAM: ``size`` data bytes plus check storage."""
+    """Installed DRAM: ``size`` data bytes plus check storage.
 
-    def __init__(self, size):
+    ``check_bytes_per_group`` is the DIMM geometry — how many check
+    bytes ride alongside each 64-bit data group — and must match the
+    ``check_bytes`` of the codec the memory controller runs (the
+    controller validates the pairing at construction).
+    """
+
+    def __init__(self, size, check_bytes_per_group=1):
         if size <= 0 or not is_aligned(size, ECC_GROUP_BYTES):
             raise ConfigurationError(
                 f"DRAM size must be a positive multiple of "
                 f"{ECC_GROUP_BYTES} bytes, got {size}"
             )
+        if check_bytes_per_group < 1:
+            raise ConfigurationError(
+                f"check storage needs at least one byte per group, got "
+                f"{check_bytes_per_group}"
+            )
         self.size = size
+        self.check_bytes_per_group = check_bytes_per_group
         self._data = bytearray(size)
-        self._check = bytearray(size // ECC_GROUP_BYTES)
+        self._check = bytearray(size // ECC_GROUP_BYTES
+                                * check_bytes_per_group)
 
     # ------------------------------------------------------------------
     # raw data access (no ECC semantics -- controller only)
@@ -41,23 +56,27 @@ class PhysicalMemory:
     # group-level access used by the controller
     # ------------------------------------------------------------------
     def read_group(self, address):
-        """Return ``(data_word, check_byte)`` for the group at ``address``."""
+        """Return ``(data_word, check_value)`` for the group at ``address``.
+
+        ``check_value`` is the stored check bytes as one little-endian
+        integer, whatever their width.
+        """
         self._require_group(address)
         word = int.from_bytes(
             self._data[address:address + ECC_GROUP_BYTES], "little"
         )
-        return word, self._check[address // ECC_GROUP_BYTES]
+        return word, self._read_check_value(address // ECC_GROUP_BYTES)
 
-    def write_group(self, address, data_word, check_byte):
-        """Store a 64-bit data word and its check byte."""
+    def write_group(self, address, data_word, check_value):
+        """Store a 64-bit data word and its check bits."""
         self._require_group(address)
         self._data[address:address + ECC_GROUP_BYTES] = data_word.to_bytes(
             ECC_GROUP_BYTES, "little"
         )
-        self._check[address // ECC_GROUP_BYTES] = check_byte
+        self._write_check_value(address // ECC_GROUP_BYTES, check_value)
 
     def write_group_data_only(self, address, data_word):
-        """Store data while leaving the check byte untouched.
+        """Store data while leaving the check bytes untouched.
 
         This is only possible while the controller has ECC disabled; it
         is the physical effect SafeMem's scrambling trick relies on.
@@ -75,28 +94,32 @@ class PhysicalMemory:
 
         One slice each for the data bytes and the check bytes -- the
         burst transfer a real controller performs for a cache-line fill,
-        instead of ``count`` separate :meth:`read_group` calls.
+        instead of ``count`` separate :meth:`read_group` calls.  The
+        ``checks`` slice is ``count * check_bytes_per_group`` bytes.
         """
         self._require_group(address)
         length = count * ECC_GROUP_BYTES
         self._require_range(address, length)
-        first = address // ECC_GROUP_BYTES
+        width = self.check_bytes_per_group
+        first = address // ECC_GROUP_BYTES * width
         return (
             bytes(self._data[address:address + length]),
-            bytes(self._check[first:first + count]),
+            bytes(self._check[first:first + count * width]),
         )
 
     def write_groups(self, address, data, checks):
         """Store consecutive groups and their check bytes in one burst."""
         self._require_group(address)
         self._require_range(address, len(data))
-        if len(data) != len(checks) * ECC_GROUP_BYTES:
+        width = self.check_bytes_per_group
+        if len(data) * width != len(checks) * ECC_GROUP_BYTES:
             raise BusError(
-                f"{len(data)} data bytes need {len(data) // ECC_GROUP_BYTES}"
-                f" check bytes, got {len(checks)}"
+                f"{len(data)} data bytes need "
+                f"{len(data) // ECC_GROUP_BYTES * width} check bytes "
+                f"({width} per group), got {len(checks)}"
             )
         self._data[address:address + len(data)] = data
-        first = address // ECC_GROUP_BYTES
+        first = address // ECC_GROUP_BYTES * width
         self._check[first:first + len(checks)] = checks
 
     def write_groups_data_only(self, address, data):
@@ -115,9 +138,9 @@ class PhysicalMemory:
         self._data[address:address + len(data)] = data
 
     def read_check(self, address):
-        """Return the stored check byte of the group at ``address``."""
+        """Return the stored check bits of the group at ``address``."""
         self._require_group(address)
-        return self._check[address // ECC_GROUP_BYTES]
+        return self._read_check_value(address // ECC_GROUP_BYTES)
 
     # ------------------------------------------------------------------
     # fault injection (tests / hardware-error simulation)
@@ -130,15 +153,47 @@ class PhysicalMemory:
         self._data[address] ^= 1 << bit
 
     def flip_check_bit(self, address, bit):
-        """Flip one stored check bit of the group containing ``address``."""
+        """Flip one stored check bit of the group containing ``address``.
+
+        ``bit`` ranges over the installed check width — 8 bits per
+        group on SEC-DED DIMMs, 24 on chipkill DIMMs — so fault
+        injection follows the codec geometry instead of assuming the
+        (72,64) layout.
+        """
         self._require_group(address - address % ECC_GROUP_BYTES)
-        if not 0 <= bit < 8:
-            raise ConfigurationError(f"bit index out of range: {bit}")
-        self._check[address // ECC_GROUP_BYTES] ^= 1 << bit
+        width = self.check_bytes_per_group
+        if not 0 <= bit < 8 * width:
+            raise ConfigurationError(
+                f"check bit index out of range for {8 * width} check "
+                f"bits per group: {bit}"
+            )
+        index = address // ECC_GROUP_BYTES * width + bit // 8
+        self._check[index] ^= 1 << (bit % 8)
 
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
+    def _read_check_value(self, group):
+        width = self.check_bytes_per_group
+        if width == 1:
+            return self._check[group]
+        first = group * width
+        return int.from_bytes(self._check[first:first + width], "little")
+
+    def _write_check_value(self, group, value):
+        width = self.check_bytes_per_group
+        if not 0 <= value < (1 << (8 * width)):
+            raise ConfigurationError(
+                f"check value out of range for {width} check byte(s): "
+                f"{value:#x}"
+            )
+        if width == 1:
+            self._check[group] = value
+        else:
+            first = group * width
+            self._check[first:first + width] = value.to_bytes(width,
+                                                              "little")
+
     def _require_range(self, address, length):
         if address < 0 or address + length > self.size:
             raise BusError(

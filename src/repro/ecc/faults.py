@@ -24,7 +24,10 @@ class EccFault:
 
     ``address`` is the physical address of the faulting ECC group.
     ``line_address`` is the base of the cache line containing it, which
-    is the granularity the OS and SafeMem reason at.
+    is the granularity the OS and SafeMem reason at.  ``codec`` names
+    the ECC backend that produced ``syndrome`` — syndrome widths and
+    meanings differ per code (see docs/HARDWARE.md), so consumers must
+    never assume the (72,64) SEC-DED layout.
     """
 
     address: int
@@ -32,6 +35,7 @@ class EccFault:
     severity: FaultSeverity
     origin: FaultOrigin
     syndrome: int = 0
+    codec: str = "secded"
 
     @property
     def uncorrectable(self):
@@ -41,7 +45,7 @@ class EccFault:
         return (
             f"EccFault({self.severity.value} at {self.address:#010x}, "
             f"line {self.line_address:#010x}, origin={self.origin.value}, "
-            f"syndrome={self.syndrome})"
+            f"syndrome={self.syndrome}, codec={self.codec})"
         )
 
 

@@ -16,12 +16,22 @@ from repro.ecc.controller import EccMode
 
 
 class Scrubber:
-    """Walks DRAM line by line, correcting latent single-bit errors."""
+    """Walks DRAM line by line, correcting latent single-bit errors.
 
-    def __init__(self, controller, clock=None, cost_model=None):
+    ``interval_cycles`` is the chipset profile's scrub cadence: how
+    many simulated cycles elapse between background passes.  The
+    scrubber itself stays demand-driven (callers decide when to run a
+    pass), but :meth:`due` lets schedulers honour the profile's
+    cadence without reaching into the profile themselves.
+    """
+
+    def __init__(self, controller, clock=None, cost_model=None,
+                 interval_cycles=None):
         self.controller = controller
         self.clock = clock
         self.cost_model = cost_model
+        self.interval_cycles = interval_cycles
+        self.last_pass_cycle = 0
         #: Callbacks invoked around a scrub pass; the kernel registers
         #: hooks here so user tools can unwatch/rewatch their regions.
         self.pre_scrub_hooks = []
@@ -29,6 +39,21 @@ class Scrubber:
         self.passes_completed = 0
         self.lines_scrubbed = 0
         self.faults_found = []
+
+    def due(self, cycle=None):
+        """True when the profile's scrub interval has elapsed.
+
+        Always False without an ``interval_cycles`` (no background
+        cadence configured).  ``cycle`` defaults to the clock's current
+        cycle when the scrubber has a clock.
+        """
+        if self.interval_cycles is None:
+            return False
+        if cycle is None:
+            if self.clock is None:
+                return False
+            cycle = self.clock.wall_time
+        return cycle - self.last_pass_cycle >= self.interval_cycles
 
     def add_hooks(self, pre=None, post=None):
         """Register pre/post scrub callbacks (e.g. SafeMem coordination)."""
@@ -70,6 +95,8 @@ class Scrubber:
                 hook()
         self.passes_completed += 1
         self.faults_found.extend(faults)
+        if self.clock is not None:
+            self.last_pass_cycle = self.clock.wall_time
         return faults
 
     def _charge_line(self):

@@ -46,8 +46,10 @@ def scramble_bytes(data):
     """Apply (or undo -- XOR is an involution) the scramble signature.
 
     Flips the three fixed bits of every 64-bit ECC group in ``data``.
-    The user-level watcher uses this to compute the expected scrambled
-    value when differentiating a watchpoint hit from a hardware error.
+    This is the *default* (SEC-DED) pattern; the kernel and watcher use
+    the controller codec's :meth:`Codec.scramble_bytes` so other
+    chipset profiles scramble with their own verified pattern.  Kept
+    for callers that predate pluggable codecs.
     """
     if len(data) % ECC_GROUP_BYTES:
         raise SyscallError(
@@ -68,7 +70,7 @@ class Kernel:
 
     def __init__(self, dram, controller, cache, mmu, page_table, clock,
                  costs, event_log, max_pinned_pages=None, metrics=None,
-                 tracer=None):
+                 tracer=None, scrub_interval_cycles=None):
         self.dram = dram
         self.controller = controller
         self.cache = cache
@@ -83,7 +85,8 @@ class Kernel:
                                               metrics=metrics,
                                               tracer=tracer)
         self.watches = WatchRegistry()
-        self.scrubber = Scrubber(controller, clock, costs)
+        self.scrubber = Scrubber(controller, clock, costs,
+                                 interval_cycles=scrub_interval_cycles)
         self.pinned_pages = 0
         self.ecc_traps = 0
         if max_pinned_pages is None:
@@ -167,13 +170,17 @@ class Kernel:
         for pline in line_map.values():
             self.cache.flush_line(pline)
 
-        # Scramble window: bus locked, ECC off, data-only writes.
+        # Scramble window: bus locked, ECC off, data-only writes.  The
+        # pattern comes from the controller's codec, so the armed line
+        # decodes as uncorrectable under whatever code this chipset
+        # profile runs.
+        scramble = self.controller.codec.scramble_bytes
         self.controller.lock_bus()
         self.controller.disable_ecc()
         try:
             for pline in line_map.values():
                 current = self.dram.read_raw(pline, CACHE_LINE_SIZE)
-                self.controller.write_line(pline, scramble_bytes(current))
+                self.controller.write_line(pline, scramble(current))
         finally:
             self.controller.enable_ecc()
             self.controller.unlock_bus()

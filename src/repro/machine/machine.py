@@ -28,6 +28,7 @@ from repro.common.events import EventKind, EventLog
 from repro.ecc.controller import EccMode, MemoryController
 from repro.ecc.dram import PhysicalMemory
 from repro.ecc.faults import UncorrectableEccError
+from repro.ecc.profile import get_profile
 from repro.kernel.kernel import Kernel
 from repro.mmu.mmu import Mmu
 from repro.mmu.pagetable import FrameAllocator, PageTable
@@ -76,7 +77,10 @@ class Machine:
     def __init__(self, dram_size=32 * 1024 * 1024, cache_size=256 * 1024,
                  cache_ways=8, ecc_mode=EccMode.CORRECT_ERROR,
                  cost_model=None, max_pinned_pages=None, cache_levels=1,
-                 l1_size=16 * 1024, l1_ways=4):
+                 l1_size=16 * 1024, l1_ways=4, profile=None):
+        #: the chipset profile (codec, scrub cadence, fault noise)
+        #: this machine's memory system is built for.
+        self.profile = get_profile(profile)
         #: how this machine was booted -- recorded into forensic
         #: bundles so replay can construct an identical machine
         #: (the cost model is assumed default; custom models are an
@@ -90,15 +94,20 @@ class Machine:
             "cache_levels": cache_levels,
             "l1_size": l1_size,
             "l1_ways": l1_ways,
+            "profile": self.profile.name,
         }
+        codec = self.profile.build_codec()
         self.costs = cost_model or default_cost_model()
         self.clock = VirtualClock()
         self.events = EventLog(self.clock)
         self.metrics = MetricsRegistry(clock=self.clock)
         self.tracer = Tracer(self.clock, registry=self.metrics,
                              events=self.events)
-        self.dram = PhysicalMemory(dram_size)
+        self.dram = PhysicalMemory(
+            dram_size, check_bytes_per_group=codec.check_bytes
+        )
         self.controller = MemoryController(self.dram, mode=ecc_mode,
+                                           codec=codec,
                                            metrics=self.metrics)
         if cache_levels == 2:
             from repro.cache.hierarchy import CacheHierarchy
@@ -145,6 +154,7 @@ class Machine:
             max_pinned_pages=max_pinned_pages,
             metrics=self.metrics,
             tracer=self.tracer,
+            scrub_interval_cycles=self.profile.scrub_interval_cycles,
         )
         # Short-circuit access path: taken only while *zero* cache lines
         # are armed (the overwhelmingly common production state).  The

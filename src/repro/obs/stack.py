@@ -38,6 +38,9 @@ class MonitorStackConfig:
 
     #: monitor short name (see ``repro.analysis.runner.MONITOR_FACTORIES``).
     monitor: str = "safemem"
+    #: chipset profile name (codec, scrub cadence, fault noise) every
+    #: machine in the stack boots with; see ``repro.ecc.profile``.
+    profile: str = "e7500"
     #: allocation sampling policy; None = classic always-on monitoring.
     sampling: SamplingPolicy = None
     #: sampling-profiler interval in cycles; None = no profiler.
@@ -58,6 +61,8 @@ class MonitorStackConfig:
     # validation / derived views
     # ------------------------------------------------------------------
     def validate(self):
+        from repro.ecc.profile import get_profile
+        get_profile(self.profile)
         if self.sample_every is not None and self.sample_every < 1:
             raise ConfigurationError(
                 f"--sample-every must be >= 1 cycle, got "
@@ -96,6 +101,7 @@ class MonitorStackConfig:
     def to_dict(self):
         return {
             "monitor": self.monitor,
+            "profile": self.profile,
             "sampling": (self.sampling.to_dict()
                          if self.sampling is not None else None),
             "sample_every": self.sample_every,
@@ -136,6 +142,7 @@ class MonitorStackConfig:
         return cls(
             monitor=(monitor if monitor is not None
                      else getattr(args, "monitor", "safemem")),
+            profile=getattr(args, "profile", None) or "e7500",
             sampling=sampling,
             sample_every=getattr(args, "sample_every", None),
             rules=getattr(args, "rules", "default"),
@@ -164,6 +171,12 @@ def add_monitoring_arguments(parent=None, sample_every_default=None):
     """
     parent = parent or argparse.ArgumentParser(add_help=False)
     group = parent.add_argument_group("monitoring stack")
+    group.add_argument(
+        "--profile", default=None, metavar="NAME",
+        help="chipset profile every machine boots with: ECC codec, "
+             "scrub cadence, fault noise (default e7500, the paper's "
+             "SEC-DED part; see docs/HARDWARE.md)",
+    )
     group.add_argument(
         "--sample-rate", type=float, default=None, metavar="RATE",
         help="sample this fraction of allocations for monitoring "
@@ -318,7 +331,7 @@ def build_monitor_stack(config, machine=None, monitor=None,
     config.validate()
     if machine is None:
         machine = Machine(dram_size=DRAM_SIZE, cache_size=CACHE_SIZE,
-                          cache_ways=16)
+                          cache_ways=16, profile=config.profile)
     if monitor is None:
         monitor = make_monitor(config.monitor, sampling=config.sampling)
 

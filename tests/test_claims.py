@@ -14,6 +14,8 @@ from repro.analysis.claims import (
     validate,
 )
 from repro.analysis.experiments import (
+    CodecMatrixResult,
+    CodecTradeoffRow,
     Figure3Result,
     Figure3Series,
     Table2Result,
@@ -79,9 +81,22 @@ def good_context():
                           sampled_allocs=0, skipped_allocs=0),
         ],
     )
+    codecs = CodecMatrixResult(rows=[
+        CodecTradeoffRow(profile=profile, codec=codec, check_bits=bits,
+                         overhead_pct=bits / 64 * 100, scramble="0/8/57",
+                         detection_cycles=1000, scrub_faults_reported=1,
+                         false_scrub_corrections=0, noise_flips=4,
+                         noise_corrected=4, contract_ok=True)
+        for profile, codec, bits in (
+            ("e7500", "secded", 8),
+            ("daec-server", "secdaec", 8),
+            ("chipkill-server", "chipkill", 24),
+        )
+    ])
     return {
         "table2": table2, "table3": table3, "table4": table4,
-        "table5": table5, "figure3": figure3, "sampling": sampling,
+        "table5": table5, "figure3": figure3, "codecs": codecs,
+        "sampling": sampling,
     }
 
 
@@ -169,4 +184,5 @@ class TestClaimHygiene:
         for claim in CLAIMS:
             assert claim.statement
             assert claim.source in ("table2", "table3", "table4",
-                                    "table5", "figure3", "sampling")
+                                    "table5", "figure3", "codecs",
+                                    "sampling")

@@ -72,9 +72,9 @@ class TestParser:
                 for option in action.option_strings
             }
 
-        expected = {"--sample-rate", "--sample-seed", "--guard-budget",
-                    "--sample-every", "--rules", "--stream",
-                    "--stream-max-bytes", "--dump-dir",
+        expected = {"--profile", "--sample-rate", "--sample-seed",
+                    "--guard-budget", "--sample-every", "--rules",
+                    "--stream", "--stream-max-bytes", "--dump-dir",
                     "--dump-on-alert"}
         for command in ("monitor", "fleet", "validate", "run"):
             assert monitoring_flags(command) == expected, command

@@ -114,6 +114,73 @@ def test_checker_flags_dangling_markdown_anchor(tmp_path):
     ]
 
 
+def _fake_ecc_repo(tmp_path, hardware_text=None):
+    root = _fake_repo(tmp_path, "repro.core and repro.ecc\n")
+    ecc = root / "src" / "repro" / "ecc"
+    ecc.mkdir()
+    (ecc / "__init__.py").write_text("")
+    (ecc / "codec.py").write_text(
+        'CODECS = {\n    "secded": None,\n    "chipkill": None,\n}\n')
+    (ecc / "profile.py").write_text(
+        'PROFILES = {}\np = Profile(\n    name="e7500",\n)\n')
+    if hardware_text is not None:
+        (root / "docs" / "HARDWARE.md").write_text(hardware_text)
+    return root
+
+
+def test_checker_flags_missing_hardware_matrix(tmp_path):
+    root = _fake_ecc_repo(tmp_path)
+    problems = docs_check.run_checks(root)
+    assert any("docs/HARDWARE.md: missing" in p for p in problems)
+
+
+def test_checker_flags_undocumented_codec_and_stale_profile(tmp_path):
+    root = _fake_ecc_repo(
+        tmp_path,
+        "# HW\n"
+        "<!-- hw-matrix codecs: secded -->\n"
+        "<!-- hw-matrix profiles: e7500 ghost-server -->\n"
+        "`secded` and `e7500` and `ghost-server`\n")
+    problems = docs_check.run_checks(root)
+    assert any("codec `chipkill` is not in the hardware matrix" in p
+               for p in problems)
+    assert any("profile `ghost-server`, which is not registered" in p
+               for p in problems)
+
+
+def test_checker_flags_declared_but_undescribed_name(tmp_path):
+    root = _fake_ecc_repo(
+        tmp_path,
+        "# HW\n"
+        "<!-- hw-matrix codecs: secded chipkill -->\n"
+        "<!-- hw-matrix profiles: e7500 -->\n"
+        "`secded` and `e7500` only\n")
+    problems = docs_check.run_checks(root)
+    assert problems == [
+        "docs/HARDWARE.md: `chipkill` is declared in the coverage "
+        "marker but never described in the body"
+    ]
+
+
+def test_checker_accepts_consistent_hardware_matrix(tmp_path):
+    root = _fake_ecc_repo(
+        tmp_path,
+        "# HW\n"
+        "<!-- hw-matrix codecs: secded chipkill -->\n"
+        "<!-- hw-matrix profiles: e7500 -->\n"
+        "`secded`, `chipkill`, `e7500`\n")
+    assert docs_check.run_checks(root) == []
+
+
+def test_repo_hardware_matrix_names_match_registries():
+    # The scraped names must equal what the packages actually register
+    # (guards the docs_check regexes themselves against refactors).
+    from repro.ecc.codec import codec_names
+    from repro.ecc.profile import profile_names
+    assert docs_check.registered_codecs() == sorted(codec_names())
+    assert docs_check.registered_profiles() == sorted(profile_names())
+
+
 def test_heading_slugger_matches_github_style():
     anchors = docs_check.heading_anchors(
         "# Top Level\n"

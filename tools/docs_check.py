@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Docs consistency checker (run in tier-1 via tests/test_docs.py).
 
-Five checks keep the documentation layer from drifting away from the
+Six checks keep the documentation layer from drifting away from the
 code layout:
 
 1. every ``repro.<pkg>`` named in ``docs/ARCHITECTURE.md`` exists as a
@@ -14,7 +14,11 @@ code layout:
    source (deprecation messages, error hints) points to a real heading
    in that file;
 5. every cross-file ``*.md#<anchor>`` markdown link points to a real
-   heading in the target file.
+   heading in the target file;
+6. the hardware-diversity matrix in ``docs/HARDWARE.md`` covers every
+   ECC codec registered in ``src/repro/ecc/codec.py`` and every
+   chipset profile in ``src/repro/ecc/profile.py`` (and nothing that
+   no longer exists).
 
 Exit status is non-zero when any check fails, so the script can run as
 a pre-commit hook: ``python tools/docs_check.py``.
@@ -33,6 +37,14 @@ _PKG_REF = re.compile(r"\brepro\.([a-z_]+)\b")
 _MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.MULTILINE)
 _CODE_DOC_REF = re.compile(r"docs/([A-Za-z_]+\.md)#([A-Za-z0-9_-]+)")
+_CODEC_REGISTRY = re.compile(r"^CODECS\s*=\s*\{(.*?)\}", re.MULTILINE
+                             | re.DOTALL)
+_DICT_KEY = re.compile(r'"([a-z0-9-]+)"\s*:')
+_PROFILE_NAME = re.compile(r'\bname\s*=\s*"([a-z0-9-]+)"')
+#: HARDWARE.md's machine-readable coverage declaration, e.g.
+#: ``<!-- hw-matrix codecs: secded secdaec -->``.
+_HW_MARKER = re.compile(r"<!--\s*hw-matrix\s+(codecs|profiles):"
+                        r"\s*([a-z0-9 -]*?)\s*-->")
 
 
 def package_references(architecture_text):
@@ -155,11 +167,80 @@ def check_markdown_anchors(root=REPO_ROOT):
     return problems
 
 
+def registered_codecs(root=REPO_ROOT):
+    """Codec names: keys of the ``CODECS`` registry literal."""
+    source = (root / "src" / "repro" / "ecc" / "codec.py").read_text()
+    match = _CODEC_REGISTRY.search(source)
+    return sorted(_DICT_KEY.findall(match.group(1))) if match else []
+
+
+def registered_profiles(root=REPO_ROOT):
+    """Profile names: literal ``name=`` kwargs in the registry."""
+    source = (root / "src" / "repro" / "ecc" / "profile.py").read_text()
+    return sorted(set(_PROFILE_NAME.findall(source)))
+
+
+def check_hardware_matrix(root=REPO_ROOT):
+    """Check 6: docs/HARDWARE.md vs the codec/profile registries.
+
+    HARDWARE.md declares its coverage in two marker comments
+    (``<!-- hw-matrix codecs: ... -->`` / ``profiles:``); the names in
+    each must match the code registries exactly, and every name must
+    also be mentioned (backticked) in the document body.
+    """
+    codec_py = root / "src" / "repro" / "ecc" / "codec.py"
+    profile_py = root / "src" / "repro" / "ecc" / "profile.py"
+    if not (codec_py.is_file() and profile_py.is_file()):
+        return []  # repo without the ECC substrate: nothing to check
+    hardware = root / "docs" / "HARDWARE.md"
+    if not hardware.is_file():
+        return [
+            "docs/HARDWARE.md: missing (the hardware-diversity matrix "
+            "must document every registered codec and profile)"
+        ]
+    text = hardware.read_text()
+    declared = {"codecs": None, "profiles": None}
+    for kind, names in _HW_MARKER.findall(text):
+        declared[kind] = sorted(names.split())
+    problems = []
+    registered = {
+        "codecs": registered_codecs(root),
+        "profiles": registered_profiles(root),
+    }
+    for kind in ("codecs", "profiles"):
+        if declared[kind] is None:
+            problems.append(
+                f"docs/HARDWARE.md: missing "
+                f"<!-- hw-matrix {kind}: ... --> coverage marker"
+            )
+            continue
+        missing = sorted(set(registered[kind]) - set(declared[kind]))
+        stale = sorted(set(declared[kind]) - set(registered[kind]))
+        for name in missing:
+            problems.append(
+                f"docs/HARDWARE.md: registered {kind[:-1]} "
+                f"`{name}` is not in the hardware matrix"
+            )
+        for name in stale:
+            problems.append(
+                f"docs/HARDWARE.md: documents {kind[:-1]} `{name}`, "
+                f"which is not registered in the code"
+            )
+        for name in declared[kind]:
+            if name not in stale and f"`{name}`" not in text:
+                problems.append(
+                    f"docs/HARDWARE.md: `{name}` is declared in the "
+                    f"coverage marker but never described in the body"
+                )
+    return problems
+
+
 def run_checks(root=REPO_ROOT):
     return check_architecture_references(root) + \
         check_markdown_links(root) + \
         check_code_doc_anchors(root) + \
-        check_markdown_anchors(root)
+        check_markdown_anchors(root) + \
+        check_hardware_matrix(root)
 
 
 def main():

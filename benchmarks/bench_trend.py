@@ -1,0 +1,180 @@
+"""Micro-benchmark for the streaming trend-analytics hot-path cost.
+
+The :class:`TrendEngine` is a pure sample listener: it runs only when
+the profiler captures a sample, never on loads or stores, so its whole
+production cost is the per-sample Python time spent updating the
+per-series detector state (Theil-Sen window, CUSUM sum, Page-Hinkley
+statistics).  This benchmark measures simulator throughput (real
+ops/sec) for the unwatched fast-path hot loop in two configurations:
+
+- ``trend_off`` -- the full sampling stack (profiler + alert engine on
+  the default rules) with no trend analytics: the PR-before baseline,
+- ``trend_on``  -- the same stack plus a :class:`TrendEngine`
+  observing every sample and the default trend rules evaluated by the
+  alert engine.
+
+The acceptance bar is that the trend-enabled hot path stays within 10%
+of the trend-off numbers (``ratio >= 0.9``).  Writes
+``BENCH_trend.json`` at the repo root.  Run directly
+(``python benchmarks/bench_trend.py``) or through pytest (marked
+``slow``, so the tier-1 run never pays for it).
+"""
+
+import pathlib
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+import pytest
+
+from conftest import write_bench_json
+
+from repro.common.constants import CACHE_LINE_SIZE, PAGE_SIZE
+from repro.machine.machine import Machine
+from repro.obs.alerts import AlertEngine, default_rules, default_trend_rules
+from repro.obs.sampler import SamplingProfiler
+from repro.obs.trend import TrendEngine
+
+pytestmark = pytest.mark.slow
+
+BASE = 0x4000_0000
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_trend.json"
+
+#: operations per timed phase.
+HOT_OPS = 40_000
+
+#: sampling interval under test (small enough that the timed loop
+#: takes many samples, so the trend engine really runs).
+SAMPLE_EVERY = 50_000
+
+
+def _make_machine():
+    machine = Machine(dram_size=8 * 1024 * 1024)
+    machine.kernel.mmap(BASE, 64 * PAGE_SIZE)
+    return machine
+
+
+def _attach_stack(machine, trend_on):
+    sampler = SamplingProfiler(machine, interval_cycles=SAMPLE_EVERY)
+    rules = default_rules()
+    trend = None
+    if trend_on:
+        trend = TrendEngine(machine)
+        for detector in ("theil-sen", "cusum", "page-hinkley"):
+            rules.extend(default_trend_rules(detector))
+    engine = AlertEngine(rules, events=machine.events,
+                         metrics=machine.metrics, trend_source=trend)
+    if trend is not None:
+        sampler.add_listener(trend.observe)
+    sampler.add_listener(engine.evaluate)
+    sampler.start()
+    return sampler, trend
+
+
+def _time(fn):
+    start = time.perf_counter()
+    ops = fn()
+    return ops / (time.perf_counter() - start)
+
+
+def _bench_hot_loads(machine):
+    addresses = [BASE + i * CACHE_LINE_SIZE for i in range(16)]
+    for address in addresses:
+        machine.store(address, bytes(8))
+
+    def run():
+        load = machine.load
+        for i in range(HOT_OPS):
+            load(addresses[i & 15], 8)
+        return HOT_OPS
+
+    return _time(run)
+
+
+def _bench_hot_stores(machine):
+    addresses = [BASE + i * CACHE_LINE_SIZE for i in range(16)]
+    for address in addresses:
+        machine.store(address, bytes(8))
+    payload = b"\xa5" * 8
+
+    def run():
+        store = machine.store
+        for i in range(HOT_OPS):
+            store(addresses[i & 15], payload)
+        return HOT_OPS
+
+    return _time(run)
+
+
+def run_benchmark():
+    off = _make_machine()
+    off_sampler, _ = _attach_stack(off, trend_on=False)
+    off_loads = _bench_hot_loads(off)
+    off_stores = _bench_hot_stores(off)
+    off_sampler.stop()
+
+    on = _make_machine()
+    on_sampler, trend = _attach_stack(on, trend_on=True)
+    on_loads = _bench_hot_loads(on)
+    on_stores = _bench_hot_stores(on)
+    on_sampler.stop()
+
+    report = {
+        "benchmark": "trend",
+        "hot_ops": HOT_OPS,
+        "sample_every": SAMPLE_EVERY,
+        "samples_taken": on_sampler.samples_taken,
+        "trend_evaluations": trend.evaluations,
+        "configs": {
+            "trend_off": {
+                "hot_loads_ops_per_sec": off_loads,
+                "hot_stores_ops_per_sec": off_stores,
+            },
+            "trend_on": {
+                "hot_loads_ops_per_sec": on_loads,
+                "hot_stores_ops_per_sec": on_stores,
+            },
+        },
+        "trend_ratio_loads": on_loads / off_loads,
+        "trend_ratio_stores": on_stores / off_stores,
+    }
+    write_bench_json("trend", report)
+    return report
+
+
+def test_bench_trend():
+    report = run_benchmark()
+    # The run must actually have fed the trend engine -- a zero-sample
+    # run would "pass" by measuring nothing.
+    assert report["samples_taken"] > 0
+    assert report["trend_evaluations"] == report["samples_taken"]
+    assert report["trend_ratio_loads"] >= 0.9
+    assert report["trend_ratio_stores"] >= 0.9
+
+
+def main():
+    report = run_benchmark()
+    off = report["configs"]["trend_off"]
+    on = report["configs"]["trend_on"]
+    print(f"wrote {RESULT_PATH}")
+    for phase in ("hot_loads", "hot_stores"):
+        key = f"{phase}_ops_per_sec"
+        print(
+            f"{phase:>10}: trend off {off[key]:>10.0f} ops/s | "
+            f"on {on[key]:>10.0f} ops/s"
+        )
+    print(
+        f"trend-on ratio: loads "
+        f"{report['trend_ratio_loads']:.3f}, stores "
+        f"{report['trend_ratio_stores']:.3f} "
+        f"({report['samples_taken']} samples, "
+        f"{report['trend_evaluations']} trend evaluations)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,7 @@ from repro.analysis.experiments import (
     experiment_table3,
     experiment_table4,
     experiment_table5,
+    experiment_trend_headtohead,
 )
 
 
@@ -171,6 +172,29 @@ def _hw_codecs(context):
                   "uncorrectable, scrub reports armed lines untouched")
 
 
+def _trend_headtohead(context):
+    result = context["trend"]
+    clean = result.clean_alerts()
+    if clean:
+        offenders = [
+            f"{row.workload}/{detector}"
+            for row in result.rows if not row.buggy
+            for detector, caught in sorted(row.fired.items()) if caught
+        ]
+        return False, (f"{clean} trend alert(s) on clean runs: "
+                       f"{offenders}")
+    stats = result.detector_stats()
+    wins = {detector: row["wins"] for detector, row in stats.items()}
+    if not any(wins.values()):
+        return False, ("no trend detector fired at or before the "
+                       "lifetime-outlier baseline on any scenario")
+    best = max(stats, key=lambda d: (stats[d]["recall"],
+                                     stats[d]["wins"]))
+    return True, (f"0 clean alerts; no-later-than-baseline scenarios "
+                  f"{wins}; best recall {best} "
+                  f"{stats[best]['recall']:.2f}")
+
+
 CLAIMS = [
     Claim("T2-values", "syscall costs match the paper's Table 2",
           _t2_microseconds, "table2"),
@@ -196,6 +220,10 @@ CLAIMS = [
           "for overhead", _f4_sampling, "sampling"),
     Claim("HW-codecs", "the watchpoint contract holds on every ECC "
           "codec backend", _hw_codecs, "codecs"),
+    Claim("TREND-pr", "streaming trend detectors catch the injected "
+          "leak no later than the lifetime-outlier method on at least "
+          "one scenario, with zero alerts on clean runs",
+          _trend_headtohead, "trend"),
 ]
 
 
@@ -212,6 +240,7 @@ def gather_context(requests=250):
         "figure3": experiment_figure3(),
         "codecs": experiment_codec_matrix(),
         "sampling": experiment_sampling_curve(),
+        "trend": experiment_trend_headtohead(),
     }
 
 

@@ -622,3 +622,204 @@ def experiment_codec_matrix():
     return CodecMatrixResult(rows=[
         codec_tradeoff_row(name) for name in profile_names()
     ])
+
+
+# ----------------------------------------------------------------------
+# Trend head-to-head: streaming detectors vs the lifetime-outlier method
+# ----------------------------------------------------------------------
+#: the buggy/clean corpus the head-to-head scores (the paper's leak
+#: servers; each runs twice, leak injected and clean).
+TREND_WORKLOADS = LEAK_WORKLOADS
+
+#: profiler interval for the trend scenarios: fine-grained enough that
+#: the Theil-Sen window fills while the lifetime-outlier detector is
+#: still inside its warmup/confirmation periods.
+TREND_SAMPLE_EVERY = 200_000
+
+
+@dataclass
+class TrendScenarioRow:
+    """One (workload, input) run scored by every trend detector."""
+
+    workload: str
+    buggy: bool
+    cycles: int
+    samples: int
+    #: first LEAK_REPORT cycle -- the lifetime-outlier baseline the
+    #: trend detectors race (None when no report, i.e. clean runs).
+    baseline_cycle: object
+    #: detector name -> did its trend alert fire this run?
+    fired: dict
+    #: detector name -> cycle its trend alert first fired (or None).
+    first_cycle: dict
+
+
+def trend_scenario_row(name, buggy, requests=None,
+                       sample_every=TREND_SAMPLE_EVERY):
+    """Run one workload under SafeMem + every trend detector at once.
+
+    One simulation serves all three detectors: the
+    :class:`~repro.obs.trend.TrendEngine` computes every statistic per
+    sample regardless of rule wiring, so installing the default trend
+    rule of each detector side by side scores them on *identical*
+    cycles -- and against the same lifetime-outlier LEAK_REPORT
+    baseline -- without re-running the workload.
+    """
+    from repro.analysis.runner import (
+        CACHE_SIZE,
+        DRAM_SIZE,
+        make_monitor,
+    )
+    from repro.common.events import EventKind
+    from repro.obs.alerts import AlertEngine, default_trend_rules
+    from repro.obs.sampler import SamplingProfiler, leak_group_source
+    from repro.obs.trend import DETECTORS, TrendEngine
+
+    machine = Machine(dram_size=DRAM_SIZE, cache_size=CACHE_SIZE,
+                      cache_ways=16)
+    monitor = make_monitor("safemem")
+    sampler = SamplingProfiler(machine, interval_cycles=sample_every,
+                               group_source=leak_group_source(monitor))
+    trend = TrendEngine(machine)
+    rules = [rule for detector in DETECTORS
+             for rule in default_trend_rules(detector)]
+    engine = AlertEngine(rules, events=machine.events,
+                         metrics=machine.metrics, trend_source=trend)
+    sampler.add_listener(trend.observe)
+    sampler.add_listener(engine.evaluate)
+    sampler.start()
+    try:
+        result = run_workload(name, "safemem", buggy=buggy,
+                              requests=requests, machine=machine,
+                              monitor=monitor)
+    finally:
+        sampler.stop()
+    reports = machine.events.of_kind(EventKind.LEAK_REPORT)
+    fired = {}
+    first_cycle = {}
+    for detector in DETECTORS:
+        rule_name = f"leak-trend-{detector}"
+        firing = [transition.cycle for transition in engine.transitions
+                  if transition.rule == rule_name
+                  and transition.state == "firing"]
+        fired[detector] = bool(firing)
+        first_cycle[detector] = firing[0] if firing else None
+    return TrendScenarioRow(
+        workload=name,
+        buggy=buggy,
+        cycles=result.cycles,
+        samples=sampler.samples_taken,
+        baseline_cycle=reports[0].cycle if reports else None,
+        fired=fired,
+        first_cycle=first_cycle,
+    )
+
+
+@dataclass
+class TrendHeadToHeadResult:
+    """Precision/recall head-to-head: trend vs lifetime-outlier."""
+
+    sample_every: int
+    rows: list
+
+    def row(self, workload, buggy):
+        for row in self.rows:
+            if row.workload == workload and row.buggy == buggy:
+                return row
+        raise KeyError(f"no trend scenario for ({workload}, {buggy})")
+
+    def detector_stats(self):
+        """``detector -> {tp, fp, fn, precision, recall, wins}``.
+
+        A buggy run counts as a true positive when the detector's
+        alert fired; a *win* additionally requires firing no later
+        than the lifetime-outlier baseline's first LEAK_REPORT.  Any
+        alert on a clean run is a false positive.
+        """
+        from repro.obs.trend import DETECTORS
+        stats = {}
+        for detector in DETECTORS:
+            tp = fp = fn = wins = 0
+            for row in self.rows:
+                caught = row.fired.get(detector, False)
+                if row.buggy:
+                    if caught:
+                        tp += 1
+                        first = row.first_cycle.get(detector)
+                        if row.baseline_cycle is not None \
+                                and first is not None \
+                                and first <= row.baseline_cycle:
+                            wins += 1
+                    else:
+                        fn += 1
+                elif caught:
+                    fp += 1
+            stats[detector] = {
+                "tp": tp, "fp": fp, "fn": fn,
+                "precision": tp / (tp + fp) if tp + fp else 1.0,
+                "recall": tp / (tp + fn) if tp + fn else 0.0,
+                "wins": wins,
+            }
+        return stats
+
+    def clean_alerts(self):
+        """Total trend alerts fired across every clean run."""
+        return sum(
+            1 for row in self.rows if not row.buggy
+            for caught in row.fired.values() if caught
+        )
+
+    def render(self):
+        from repro.obs.trend import DETECTORS
+
+        def fmt_cycle(value):
+            return f"{value:,}" if value is not None else "-"
+
+        race_rows = []
+        for row in self.rows:
+            if not row.buggy:
+                continue
+            clean = self.row(row.workload, False)
+            race_rows.append((
+                row.workload,
+                fmt_cycle(row.baseline_cycle),
+                *(fmt_cycle(row.first_cycle.get(d)) for d in DETECTORS),
+                sum(1 for caught in clean.fired.values() if caught),
+            ))
+        race = render_table(
+            "Trend head-to-head: first detection cycle on the injected "
+            "leak (buggy runs)",
+            ["App", "lifetime-outlier", *DETECTORS, "clean alerts"],
+            race_rows,
+            note=f"one run serves every detector (sampled every "
+                 f"{self.sample_every:,} cycles); 'clean alerts' "
+                 f"counts detectors firing on the leak-free twin",
+        )
+        stats = self.detector_stats()
+        score = render_table(
+            "Trend detector precision/recall vs the lifetime-outlier "
+            "baseline",
+            ["Detector", "TP", "FP", "FN", "Precision", "Recall",
+             "No later than baseline"],
+            [(detector,
+              row["tp"], row["fp"], row["fn"],
+              f"{row['precision']:.2f}", f"{row['recall']:.2f}",
+              f"{row['wins']}/{row['tp'] + row['fn']}")
+             for detector, row in stats.items()],
+            note="a 'no later than baseline' scenario is one where the "
+                 "trend alert fired at or before the lifetime-outlier "
+                 "method's first LEAK_REPORT",
+        )
+        return race + "\n\n" + score
+
+
+def experiment_trend_headtohead(requests=None,
+                                sample_every=TREND_SAMPLE_EVERY):
+    """The full buggy/clean sweep (serial path; validation shards it)."""
+    rows = []
+    for name in TREND_WORKLOADS:
+        for buggy in (True, False):
+            rows.append(trend_scenario_row(name, buggy,
+                                           requests=requests,
+                                           sample_every=sample_every))
+    return TrendHeadToHeadResult(sample_every=sample_every, rows=rows)

@@ -37,11 +37,12 @@ import json
 import multiprocessing
 import os
 import pathlib
-import warnings
 from dataclasses import asdict, dataclass, field
 
 from repro.analysis.experiments import (
     FIGURE3_WORKLOADS,
+    TREND_SAMPLE_EVERY,
+    TREND_WORKLOADS,
     CodecMatrixResult,
     CodecTradeoffRow,
     Figure3Result,
@@ -53,12 +54,15 @@ from repro.analysis.experiments import (
     Table4Row,
     Table5Result,
     Table5Row,
+    TrendHeadToHeadResult,
+    TrendScenarioRow,
     codec_tradeoff_row,
     experiment_table2,
     figure3_series,
     table3_row,
     table4_row,
     table5_row,
+    trend_scenario_row,
 )
 from repro.analysis.runner import (
     add_boot_tap,
@@ -289,6 +293,14 @@ JOB_KINDS = {
         encode=asdict,
         decode=lambda payload: SamplingPoint(**payload),
     ),
+    "trend-scenario": _JobKind(
+        run=lambda params: trend_scenario_row(
+            params["name"], params["buggy"],
+            requests=params["requests"],
+            sample_every=params["sample_every"]),
+        encode=asdict,
+        decode=lambda payload: TrendScenarioRow(**payload),
+    ),
 }
 
 
@@ -317,6 +329,13 @@ def enumerate_validation_jobs(requests=250):
                        "workload": SAMPLING_CURVE_WORKLOAD,
                        "machines": SAMPLING_CURVE_MACHINES,
                        "requests": None, "seed": 0}))
+    for name in TREND_WORKLOADS:
+        for buggy in (True, False):
+            label = "buggy" if buggy else "clean"
+            specs.append(("trend-scenario", f"trend:{name}:{label}",
+                          {"name": name, "buggy": buggy,
+                           "requests": None,
+                           "sample_every": TREND_SAMPLE_EVERY}))
     return specs
 
 
@@ -451,6 +470,12 @@ def _execute_job(spec, dump_dir=None, dump_on_alert=False):
                     ]
                 if config.sampling is not None:
                     monitoring["sampling"] = config.sampling.to_dict()
+                if config.wants_trend:
+                    from repro.obs.trend import DEFAULT_WINDOW
+                    monitoring["trend"] = {
+                        "detector": config.trend,
+                        "window": config.trend_window or DEFAULT_WINDOW,
+                    }
                 if monitoring:
                     info["monitoring"] = monitoring
             label = ident.replace(":", "-")
@@ -635,6 +660,12 @@ def assemble_context(payloads):
             points=[payloads[f"sampling:{rate:g}"]
                     for rate in SAMPLING_CURVE_RATES],
         ),
+        "trend": TrendHeadToHeadResult(
+            sample_every=TREND_SAMPLE_EVERY,
+            rows=[payloads[f"trend:{name}:{label}"]
+                  for name in TREND_WORKLOADS
+                  for label in ("buggy", "clean")],
+        ),
     }
 
 
@@ -655,7 +686,7 @@ class ValidationRun:
 
 
 def run_validation(requests=250, jobs=None, cache_dir=None,
-                   use_cache=True, stack=None, **legacy):
+                   use_cache=True, stack=None):
     """Sharded ``repro validate``: enumerate, fan out, merge, check.
 
     ``jobs=1`` runs every shard in-process (no pool) but still through
@@ -665,24 +696,9 @@ def run_validation(requests=250, jobs=None, cache_dir=None,
     forensic settings: with a dump dir, any shard machine that panics
     leaves a ``repro.dump/v1`` bundle there.  (The claim experiments
     pin their own monitor configs, so the stack's monitor/sampling
-    fields do not alter the validated runs.)  The old ``dump_dir=``
-    keyword still works but warns :class:`DeprecationWarning`.
+    fields do not alter the validated runs.)
     """
     from repro.analysis.claims import validate
-    unknown = set(legacy) - {"dump_dir"}
-    if unknown:
-        raise TypeError(f"run_validation() got unexpected keyword "
-                        f"arguments {sorted(unknown)}")
-    if legacy:
-        warnings.warn(
-            "run_validation(dump_dir=...) is deprecated; pass "
-            "stack=MonitorStackConfig(dump_dir=...) instead (see docs/"
-            "ARCHITECTURE.md#the-monitor-stack-monitorstackconfig)",
-            DeprecationWarning, stacklevel=2)
-        if stack is not None:
-            raise TypeError("run_validation() got both stack= and the "
-                            "legacy dump_dir= keyword")
-        stack = MonitorStackConfig(dump_dir=legacy["dump_dir"])
     if stack is None:
         stack = MonitorStackConfig()
     stack.validate()
@@ -700,7 +716,7 @@ def run_validation(requests=250, jobs=None, cache_dir=None,
 
 
 RESULT_FILES = ("table2", "table3", "table4", "table5", "figure3",
-                "codecs")
+                "codecs", "trend")
 
 
 def write_result_artifacts(context, results_dir):
@@ -883,35 +899,8 @@ def machine_seed(base_seed, index):
     return base_seed + index
 
 
-#: legacy run_fleet keyword arguments, now carried by the stack config.
-_LEGACY_FLEET_KWARGS = ("sample_every", "rules", "dump_dir",
-                        "dump_on_alert")
-
-
-def _coerce_fleet_stack(stack, monitor, legacy):
+def _coerce_fleet_stack(stack, monitor):
     """Normalize run_fleet's monitoring arguments to one stack config."""
-    unknown = set(legacy) - set(_LEGACY_FLEET_KWARGS)
-    if unknown:
-        raise TypeError(f"run_fleet() got unexpected keyword arguments "
-                        f"{sorted(unknown)}")
-    if legacy:
-        warnings.warn(
-            "run_fleet(sample_every=..., rules=..., dump_dir=..., "
-            "dump_on_alert=...) is deprecated; pass "
-            "stack=MonitorStackConfig(...) instead (see docs/"
-            "ARCHITECTURE.md#the-monitor-stack-monitorstackconfig)",
-            DeprecationWarning, stacklevel=3)
-        if stack is not None:
-            raise TypeError(
-                "run_fleet() got both stack= and legacy monitoring "
-                "keywords; move everything onto the stack config")
-        return MonitorStackConfig(
-            monitor=monitor if monitor is not None else "safemem",
-            sample_every=legacy.get("sample_every"),
-            rules=legacy.get("rules", "default"),
-            dump_dir=legacy.get("dump_dir"),
-            dump_on_alert=legacy.get("dump_on_alert", False),
-        ).validate()
     if stack is None:
         return MonitorStackConfig(
             monitor=monitor if monitor is not None else "safemem",
@@ -924,8 +913,7 @@ def _coerce_fleet_stack(stack, monitor, legacy):
 
 
 def run_fleet(workload, machines=4, monitor=None, requests=None,
-              buggy=False, jobs=None, base_seed=0, stack=None,
-              **legacy):
+              buggy=False, jobs=None, base_seed=0, stack=None):
     """Run ``machines`` simulated machines of one workload concurrently.
 
     Each machine gets its own workload seed (:func:`machine_seed`) so
@@ -939,14 +927,12 @@ def run_fleet(workload, machines=4, monitor=None, requests=None,
     (each machine samples under its own derived seed, GWP-ASan style),
     the sampling profiler + alert engine (``sample_every``/``rules``),
     telemetry streaming, and forensic dumps.  ``monitor`` without a
-    stack is shorthand for ``MonitorStackConfig(monitor=...)``; the old
-    loose ``sample_every``/``rules``/``dump_dir``/``dump_on_alert``
-    keywords still work but warn :class:`DeprecationWarning`.
+    stack is shorthand for ``MonitorStackConfig(monitor=...)``.
     """
     if machines < 1:
         raise ConfigurationError(
             f"--machines must be >= 1, got {machines}")
-    stack = _coerce_fleet_stack(stack, monitor, legacy)
+    stack = _coerce_fleet_stack(stack, monitor)
     forensics = stack.wants_forensics
     specs = [
         ("fleet-machine", f"fleet:{workload}:{index}",

@@ -34,7 +34,9 @@ monitoring-stack argument group (one argparse parent, one
 ``MonitorStackConfig.from_args``): ``--sample-rate``/``--sample-seed``/
 ``--guard-budget`` put the monitor in sampled production mode,
 ``--sample-every``/``--rules`` run the sampling profiler + alert
-engine, ``--stream`` ships ``repro.events/v1`` records, and
+engine, ``--trend``/``--trend-window`` add streaming leak-trend
+analytics (slope/changepoint detectors feeding ``trend``-kind alert
+rules), ``--stream`` ships ``repro.events/v1`` records, and
 ``--dump-dir``/``--dump-on-alert`` arm forensic ``repro.dump/v1``
 recording -- identically spelled everywhere (see
 ``docs/ARCHITECTURE.md``).  ``run``, ``stats``, ``validate``, and
@@ -260,6 +262,10 @@ def build_parser():
     inspect_parser.add_argument(
         "--heap", action="store_true",
         help="print the live heap map")
+    inspect_parser.add_argument(
+        "--trends", action="store_true",
+        help="print the trend-analytics verdicts (per series and "
+             "detector) recorded at capture")
     inspect_parser.add_argument(
         "--metrics", action="store_true",
         help="print the embedded metrics snapshot")
@@ -630,6 +636,17 @@ def command_monitor(args, out):
             for name, (fired, resolved, state) in summary.items():
                 out.write(f"  {name:<26} fired {fired}  "
                           f"resolved {resolved}  state {state}\n")
+        if stack.trend is not None:
+            trend = stack.trend
+            breaching = [v for v in trend.verdicts() if v.breached]
+            out.write(f"trend:     {config.trend} over "
+                      f"{len(trend.summary()['series'])} series "
+                      f"(window {trend.window}), "
+                      f"{trend.breach_onsets} breach onset(s), "
+                      f"{len(breaching)} verdict(s) still breaching\n")
+            for verdict in breaching[:args.top]:
+                out.write(f"  {verdict.detector:<12} {verdict.series:<28}"
+                          f" {verdict.value:,.1f}\n")
         if result.truth.detection is not None:
             out.write(f"stopped at detection: "
                       f"{result.truth.detection.report}\n")
@@ -715,6 +732,8 @@ def command_inspect(args, out):
     elif args.heap:
         out.write(forensics.render_bundle_heap(bundle, top=args.limit)
                   + "\n")
+    elif args.trends:
+        out.write(forensics.render_bundle_trends(bundle) + "\n")
     elif args.metrics:
         out.write(render_metrics_table(
             forensics.bundle_snapshot(bundle), title="bundle metrics",

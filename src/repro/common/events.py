@@ -43,6 +43,7 @@ class EventKind(Enum):
     PANIC = "panic"
     SYSCALL = "syscall"
     ALERT = "alert"
+    TREND = "trend"
 
 
 @dataclass

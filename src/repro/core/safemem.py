@@ -48,31 +48,8 @@ class SafeMem(Monitor):
 
     name = "safemem"
 
-    def __init__(self, config=None, /, **kwargs):
+    def __init__(self, config=None, /):
         super().__init__()
-        if "config" in kwargs:
-            # Pre-MonitorStackConfig call sites passed the config by
-            # keyword; the front door is now
-            # repro.obs.stack.build_monitor_stack (or a positional
-            # config for direct construction).
-            if config is not None:
-                raise TypeError(
-                    "SafeMem() got the config both positionally and "
-                    "by keyword")
-            warnings.warn(
-                "SafeMem(config=...) keyword construction is "
-                "deprecated; pass the config positionally or build "
-                "the monitor through MonitorStackConfig / "
-                "build_monitor_stack (see docs/ARCHITECTURE.md"
-                "#the-monitor-stack-monitorstackconfig)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            config = kwargs.pop("config")
-        if kwargs:
-            raise TypeError(
-                f"SafeMem() got unexpected keyword arguments "
-                f"{sorted(kwargs)}")
         self.config = (config or SafeMemConfig()).validate()
         #: allocation sampler, or None in classic always-on mode.  A
         #: rate-1.0/no-budget policy is *deliberately* mapped to None:

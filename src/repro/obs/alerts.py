@@ -3,7 +3,7 @@
 Production monitoring is rules plus a state machine, not a human
 watching counters.  An :class:`AlertEngine` holds a set of
 :class:`AlertRule` definitions and evaluates them against each
-:class:`~repro.obs.sampler.Sample` the profiler captures.  Three rule
+:class:`~repro.obs.sampler.Sample` the profiler captures.  Four rule
 kinds:
 
 - ``threshold`` -- the metric's current value compared against
@@ -13,7 +13,15 @@ kinds:
   consecutive samples compared against ``value`` (leak growth, fault
   storms),
 - ``absence`` -- breaches when the metric is missing from the sample
-  or has made no progress (counter unchanged) since the previous one.
+  or has made no progress (counter unchanged) since the previous one,
+- ``trend`` -- judges the :class:`~repro.obs.trend.TrendEngine`'s
+  latest verdicts instead of a sample metric.  The rule's ``metric``
+  is a ``<detector>/<series-pattern>`` selector (see
+  :func:`~repro.obs.trend.parse_selector`); the rule breaches while
+  any matching series is latched breached with a statistic ``op``
+  ``value``, and clears once no matching series holds above
+  ``clear_value``.  Requires an engine constructed with
+  ``trend_source=``.
 
 Every rule debounces: ``for_samples`` consecutive breaching samples are
 required before ``ok -> firing`` (passing through a ``pending`` state),
@@ -30,8 +38,9 @@ import json
 
 from repro.common.errors import ConfigurationError
 from repro.common.events import EventKind
+from repro.obs.trend import DETECTORS, parse_selector
 
-RULE_KINDS = ("threshold", "rate", "absence")
+RULE_KINDS = ("threshold", "rate", "absence", "trend")
 SEVERITIES = ("info", "warning", "critical")
 OPS = {
     ">": lambda a, b: a > b,
@@ -76,6 +85,13 @@ class AlertRule:
                 f"alert rule {name!r}: for_samples and resolve_after "
                 f"must be >= 1"
             )
+        if kind == "trend":
+            try:
+                parse_selector(metric)
+            except ConfigurationError as error:
+                raise ConfigurationError(
+                    f"alert rule {name!r}: {error}"
+                ) from None
         self.name = name
         self.metric = metric
         self.kind = kind
@@ -189,7 +205,8 @@ class AlertEngine:
         sampler.add_listener(engine.evaluate)
     """
 
-    def __init__(self, rules, events=None, metrics=None):
+    def __init__(self, rules, events=None, metrics=None,
+                 trend_source=None):
         names = [rule.name for rule in rules]
         if len(set(names)) != len(names):
             raise ConfigurationError(
@@ -198,6 +215,9 @@ class AlertEngine:
         self.alerts = {rule.name: Alert(rule) for rule in rules}
         self.events = events
         self.metrics = metrics
+        #: a TrendEngine (or anything with ``judge(selector)``) that
+        #: ``trend``-kind rules consult; None disables them.
+        self.trend_source = trend_source
         self.evaluations = 0
         self.transitions = []
         self._listeners = []
@@ -271,8 +291,9 @@ class AlertEngine:
             present = False
             value = 0
         alert.last_value = value
-        # _judge overrides last_value with the computed rate for rate
-        # rules, so the published transition carries the judged number.
+        # _judge overrides last_value with the computed statistic for
+        # rate and trend rules, so the published transition carries the
+        # judged number.
         breached, cleared = self._judge(alert, rule, sample, present,
                                         value)
         alert._previous = (sample.cycle, value if present else None)
@@ -329,6 +350,24 @@ class AlertEngine:
             clear_at = rule.value if rule.clear_value is None \
                 else rule.clear_value
             return breached, not OPS[rule.op](rate, clear_at)
+        if rule.kind == "trend":
+            # Judged against the TrendEngine's latched verdicts, not a
+            # sample metric; the engine's own hysteresis composes with
+            # this rule's value/clear_value floor on the statistic.
+            if self.trend_source is None:
+                return False, True
+            verdicts = self.trend_source.judge(rule.metric)
+            if not verdicts:
+                return False, True
+            clear_at = rule.value if rule.clear_value is None \
+                else rule.clear_value
+            breaching = [v for v in verdicts if v.breached
+                         and OPS[rule.op](v.value, rule.value)]
+            holding = [v for v in verdicts if v.breached
+                       and OPS[rule.op](v.value, clear_at)]
+            pool = breaching or holding or verdicts
+            alert.last_value = max(v.value for v in pool)
+            return bool(breaching), not holding
         # absence: no metric, or a counter that made no progress.
         previous = alert._previous
         if not present:
@@ -399,6 +438,32 @@ def default_rules():
     ]
 
 
+def default_trend_rules(detector):
+    """Rules installed when trend analytics is on (``--trend``).
+
+    One critical rule per detector, scoped to the ``group:*`` series:
+    whole-heap occupancy legitimately grows during warmup on clean
+    workloads, but a single allocation site whose live bytes keep
+    climbing after the window fills is the leak signature the
+    head-to-head experiment scores (claim TREND-pr).
+    """
+    if detector not in DETECTORS:
+        raise ConfigurationError(
+            f"unknown trend detector {detector!r} "
+            f"(choose from {', '.join(DETECTORS)})"
+        )
+    return [
+        AlertRule(
+            f"leak-trend-{detector}", f"{detector}/group:*",
+            kind="trend", op=">", value=0.0, for_samples=2,
+            resolve_after=2, severity="critical",
+            description=f"sustained live-bytes growth on an allocation "
+                        f"group ({detector} statistic latched above "
+                        f"its threshold)",
+        ),
+    ]
+
+
 def load_rules(path):
     """Load a JSON rule file: a list of :meth:`AlertRule.to_dict` specs."""
     try:
@@ -411,7 +476,15 @@ def load_rules(path):
         raise ConfigurationError(
             f"alert rules file {path} must hold a JSON list of rules"
         )
-    return [AlertRule.from_dict(spec) for spec in specs]
+    rules = []
+    for index, spec in enumerate(specs):
+        if not isinstance(spec, dict):
+            raise ConfigurationError(
+                f"alert rules file {path}: entry #{index} is not a "
+                f"JSON object ({type(spec).__name__})"
+            )
+        rules.append(AlertRule.from_dict(spec))
+    return rules
 
 
 def resolve_rules(spec):

@@ -104,13 +104,16 @@ def _heap_map(allocator, limit):
 
 def capture_bundle(machine, monitor=None, run_info=None, reason="manual",
                    trigger=None, event_tail=EVENT_TAIL_LIMIT,
-                   heap_map_limit=HEAP_MAP_LIMIT, group_limit=GROUP_LIMIT):
+                   heap_map_limit=HEAP_MAP_LIMIT, group_limit=GROUP_LIMIT,
+                   trend=None):
     """Freeze one machine (and its attached monitor) into a bundle dict.
 
     ``run_info`` records how to re-drive the run (workload / monitor /
     buggy / requests / seed / heap_size, plus an optional ``monitoring``
     sub-dict with ``sample_every`` and serialized alert rules); without
-    it the bundle is inspectable but not replayable.
+    it the bundle is inspectable but not replayable.  ``trend`` is the
+    run's :class:`~repro.obs.trend.TrendEngine`, whose per-series
+    verdicts land under the bundle's ``trends`` key.
     """
     cycle = machine.clock.cycles
     snapshot = machine.metrics.snapshot()
@@ -154,6 +157,7 @@ def capture_bundle(machine, monitor=None, run_info=None, reason="manual",
         },
         "heap": None,
         "groups": [],
+        "trends": trend.summary() if trend is not None else None,
     }
     program = getattr(monitor, "program", None) if monitor is not None \
         else None
@@ -206,9 +210,10 @@ class ForensicRecorder:
     def __init__(self, machine, monitor=None, run_info=None,
                  dump_dir="dumps", label="run", on_panic=True,
                  on_alert=False, max_bundles=4,
-                 event_tail=EVENT_TAIL_LIMIT):
+                 event_tail=EVENT_TAIL_LIMIT, trend=None):
         self.machine = machine
         self.monitor = monitor
+        self.trend = trend
         self.run_info = dict(run_info or {})
         self.dump_dir = pathlib.Path(dump_dir)
         self.label = _safe_label(label)
@@ -253,6 +258,7 @@ class ForensicRecorder:
         bundle = capture_bundle(
             self.machine, monitor=self.monitor, run_info=self.run_info,
             reason=reason, trigger=trigger, event_tail=self.event_tail,
+            trend=self.trend,
         )
         path = self.dump_dir / (
             f"{self.label}-{reason}-c{bundle['cycle']}"
@@ -367,11 +373,23 @@ def replay_bundle(bundle, until_cycle=None, break_on=None):
             machine, interval_cycles=monitoring["sample_every"],
             group_source=leak_group_source(monitor),
         )
+        trend = None
+        trend_info = monitoring.get("trend")
+        if trend_info:
+            # The trend engine emits TREND events into the log, so a
+            # bundle captured with one only replays bit-exactly when
+            # the replay runs the same engine in the same listener slot.
+            from repro.obs.trend import DEFAULT_WINDOW, TrendEngine
+            trend = TrendEngine(machine,
+                                window=trend_info.get("window")
+                                or DEFAULT_WINDOW)
+            sampler.add_listener(trend.observe)
         rules = [AlertRule.from_dict(spec)
                  for spec in monitoring.get("rules", [])]
         if rules:
             engine = AlertEngine(rules, events=machine.events,
-                                 metrics=machine.metrics)
+                                 metrics=machine.metrics,
+                                 trend_source=trend)
             sampler.add_listener(engine.evaluate)
         sampler.start()
 
@@ -619,6 +637,18 @@ def render_bundle_summary(bundle):
     fired = _fired_alerts(bundle.get("metrics", {}).get("metrics", {}))
     if fired:
         lines.append("  alerts fired: " + ", ".join(fired))
+    trends = bundle.get("trends")
+    if trends:
+        breaching = sum(
+            1 for series in trends.get("series", [])
+            for verdict in series.get("verdicts", [])
+            if verdict.get("breached")
+        )
+        lines.append(
+            f"  trends:    {len(trends.get('series', []))} series "
+            f"tracked, {breaching} verdict(s) breaching "
+            f"({trends.get('breach_onsets', 0)} onset(s) total)"
+        )
     panic = (bundle.get("spans") or {}).get("panic")
     if panic:
         lines.append(f"  panic:     {panic.get('reason')} @ cycle "
@@ -683,6 +713,34 @@ def render_bundle_events(bundle, kind=None, since_cycle=None, limit=20):
             f"[{record['cycle']:>12}] {record['kind']:<18}"
             f" addr={addr} size={record['size']}{extras}"
         )
+    return "\n".join(lines)
+
+
+def render_bundle_trends(bundle):
+    """Trend-analytics view: per-series detector verdicts at capture."""
+    trends = bundle.get("trends")
+    if not trends:
+        return ("no trend analytics recorded "
+                "(run was captured without --trend)")
+    lines = [
+        f"trend analytics: {len(trends.get('series', []))} series, "
+        f"window {trends.get('window', '?')} samples, "
+        f"{trends.get('evaluations', 0)} evaluation(s), "
+        f"{trends.get('series_ended', 0)} series ended, "
+        f"{trends.get('breach_onsets', 0)} breach onset(s)",
+    ]
+    for series in trends.get("series", []):
+        lines.append(
+            f"  {series['name']} -- {series['points']} point(s) in "
+            f"window, last {series['last_value']:,.0f} B @ cycle "
+            f"{series['last_cycle']:,}"
+        )
+        for verdict in series.get("verdicts", []):
+            state = "BREACHED" if verdict["breached"] else "ok"
+            lines.append(
+                f"    {verdict['detector']:<12} {verdict['value']:>14,.1f}"
+                f"  {state}"
+            )
     return "\n".join(lines)
 
 
@@ -784,6 +842,7 @@ def diff_documents(a, b):
 
     fired_a = set(_fired_alerts(values_a))
     fired_b = set(_fired_alerts(values_b))
+    trends = _diff_trends(a, b)
     groups = []
     if a.get("schema") == DUMP_SCHEMA and b.get("schema") == DUMP_SCHEMA:
         rows_a = {(g["size"], g["call_signature"]): g
@@ -810,7 +869,40 @@ def diff_documents(a, b):
             "disappeared": sorted(fired_a - fired_b),
         },
         "groups": groups,
+        "trends": trends,
     }
+
+
+def _trend_verdict_map(document):
+    """``(series, detector) -> verdict`` of a bundle's trends section."""
+    trends = document.get("trends") if document.get("schema") \
+        == DUMP_SCHEMA else None
+    verdicts = {}
+    for series in (trends or {}).get("series", []):
+        for verdict in series.get("verdicts", []):
+            verdicts[(series["name"], verdict["detector"])] = verdict
+    return verdicts
+
+
+def _diff_trends(a, b):
+    """Changed trend verdicts between two bundles (A -> B)."""
+    rows_a = _trend_verdict_map(a)
+    rows_b = _trend_verdict_map(b)
+    rows = []
+    for key in sorted(set(rows_a) | set(rows_b)):
+        va = rows_a.get(key)
+        vb = rows_b.get(key)
+        value_a = va["value"] if va else None
+        value_b = vb["value"] if vb else None
+        breached_a = va["breached"] if va else None
+        breached_b = vb["breached"] if vb else None
+        if value_a != value_b or breached_a != breached_b:
+            rows.append({
+                "series": key[0], "detector": key[1],
+                "a": value_a, "b": value_b,
+                "breached_a": breached_a, "breached_b": breached_b,
+            })
+    return rows
 
 
 def _cycle_of(document):
@@ -863,6 +955,18 @@ def render_diff(diff, limit=20):
             lines.append(
                 f"  size {row['size']:>4} @ {row['call_signature']:#09x}"
                 f"  {row['a']:,} -> {row['b']:,}  ({row['delta']:+,})"
+            )
+    if diff.get("trends"):
+        lines.append(f"trend verdicts ({len(diff['trends'])} changed):")
+        for row in diff["trends"][:limit]:
+            def _state(breached):
+                if breached is None:
+                    return "absent"
+                return "BREACHED" if breached else "ok"
+            lines.append(
+                f"  {row['detector']:<12} {row['series']:<28} "
+                f"{_fmt(row['a']):>12} ({_state(row['breached_a'])}) -> "
+                f"{_fmt(row['b']):>12} ({_state(row['breached_b'])})"
             )
     if len(lines) == 1:
         lines.append("no differences")

@@ -48,6 +48,7 @@ DEFAULT_STREAM_KINDS = (
     EventKind.CORRUPTION_REPORT,
     EventKind.PANIC,
     EventKind.ALERT,
+    EventKind.TREND,
 )
 
 #: default rotation threshold for JSONL sinks.

@@ -27,6 +27,7 @@ from dataclasses import dataclass, replace
 
 from repro.common.errors import ConfigurationError
 from repro.core.sampling import SamplingPolicy
+from repro.obs.trend import DEFAULT_WINDOW, DETECTORS, MIN_SLOPE_POINTS
 
 #: default profiler interval the ``repro monitor`` command uses.
 DEFAULT_SAMPLE_EVERY = 100_000
@@ -56,6 +57,11 @@ class MonitorStackConfig:
     #: also dump when any alert reaches ``firing`` (defaults
     #: ``dump_dir`` to ./dumps).
     dump_on_alert: bool = False
+    #: trend-analytics detector driving the default ``trend`` rules
+    #: (``theil-sen``/``cusum``/``page-hinkley``); None = analytics off.
+    trend: str = None
+    #: samples per trend series window (None = engine default).
+    trend_window: int = None
 
     # ------------------------------------------------------------------
     # validation / derived views
@@ -74,11 +80,32 @@ class MonitorStackConfig:
                 f"{self.stream_max_bytes}")
         if self.sampling is not None:
             self.sampling.validate()
+        if self.trend is not None:
+            if self.trend not in DETECTORS:
+                raise ConfigurationError(
+                    f"--trend must be one of {', '.join(DETECTORS)}, "
+                    f"got {self.trend!r}")
+            if self.sample_every is None:
+                raise ConfigurationError(
+                    "--trend requires --sample-every (the trend engine "
+                    "consumes profiler samples)")
+        if self.trend_window is not None:
+            if self.trend is None:
+                raise ConfigurationError(
+                    "--trend-window requires --trend")
+            if self.trend_window < MIN_SLOPE_POINTS:
+                raise ConfigurationError(
+                    f"--trend-window must be >= {MIN_SLOPE_POINTS} "
+                    f"samples, got {self.trend_window}")
         return self
 
     @property
     def wants_profiler(self):
         return self.sample_every is not None
+
+    @property
+    def wants_trend(self):
+        return self.trend is not None
 
     @property
     def wants_forensics(self):
@@ -110,6 +137,8 @@ class MonitorStackConfig:
             "stream_max_bytes": self.stream_max_bytes,
             "dump_dir": self.dump_dir,
             "dump_on_alert": self.dump_on_alert,
+            "trend": self.trend,
+            "trend_window": self.trend_window,
         }
 
     @classmethod
@@ -150,6 +179,8 @@ class MonitorStackConfig:
             stream_max_bytes=getattr(args, "stream_max_bytes", None),
             dump_dir=getattr(args, "dump_dir", None),
             dump_on_alert=getattr(args, "dump_on_alert", False),
+            trend=getattr(args, "trend", None),
+            trend_window=getattr(args, "trend_window", None),
         ).validate()
 
 
@@ -203,6 +234,18 @@ def add_monitoring_arguments(parent=None, sample_every_default=None):
                 if sample_every_default is not None else "off") + ")",
     )
     group.add_argument(
+        "--trend", default=None, choices=DETECTORS, metavar="DETECTOR",
+        help="run streaming leak-trend analytics over profiler "
+             "samples and install its alert rules; pick the detector "
+             "driving them: " + ", ".join(DETECTORS)
+             + " (requires --sample-every)",
+    )
+    group.add_argument(
+        "--trend-window", type=int, default=None, metavar="SAMPLES",
+        help="samples per trend series window (default "
+             + str(DEFAULT_WINDOW) + "; requires --trend)",
+    )
+    group.add_argument(
         "--rules", default="default", metavar="default|none|FILE",
         help="alert rules for --sample-every: the built-in "
              "production set, none, or a JSON rule file",
@@ -251,7 +294,7 @@ class MonitorStack:
 
     def __init__(self, config, machine, monitor, sampler=None,
                  engine=None, sink=None, stream=None, recorder=None,
-                 alert_rules=()):
+                 alert_rules=(), trend=None):
         self.config = config
         self.machine = machine
         self.monitor = monitor
@@ -261,6 +304,7 @@ class MonitorStack:
         self.stream = stream
         self.recorder = recorder
         self.alert_rules = list(alert_rules)
+        self.trend = trend
         self._closed = False
 
     def start(self):
@@ -309,6 +353,11 @@ class MonitorStack:
                              for rule in self.alert_rules]
         if self.config.sampling is not None:
             info["sampling"] = self.config.sampling.to_dict()
+        if self.trend is not None:
+            info["trend"] = {
+                "detector": self.config.trend,
+                "window": self.trend.window,
+            }
         return info
 
 
@@ -335,17 +384,30 @@ def build_monitor_stack(config, machine=None, monitor=None,
     if monitor is None:
         monitor = make_monitor(config.monitor, sampling=config.sampling)
 
-    sampler = engine = None
+    sampler = engine = trend = None
     rules = []
     if config.wants_profiler:
-        from repro.obs.alerts import AlertEngine, resolve_rules
+        from repro.obs.alerts import (
+            AlertEngine,
+            default_trend_rules,
+            resolve_rules,
+        )
         from repro.obs.sampler import SamplingProfiler, leak_group_source
         rules = resolve_rules(config.rules)
         sampler = SamplingProfiler(
             machine, interval_cycles=config.sample_every,
             group_source=leak_group_source(monitor))
+        if config.wants_trend:
+            from repro.obs.trend import TrendEngine
+            trend = TrendEngine(
+                machine, window=config.trend_window or DEFAULT_WINDOW)
+            rules = rules + default_trend_rules(config.trend)
+            # The trend listener must observe before the alert engine
+            # evaluates, so trend rules judge this sample's verdicts.
+            sampler.add_listener(trend.observe)
         engine = AlertEngine(rules, events=machine.events,
-                             metrics=machine.metrics)
+                             metrics=machine.metrics,
+                             trend_source=trend)
         sampler.add_listener(engine.evaluate)
 
     sink = stream = None
@@ -363,7 +425,7 @@ def build_monitor_stack(config, machine=None, monitor=None,
 
     stack = MonitorStack(config, machine, monitor, sampler=sampler,
                          engine=engine, sink=sink, stream=stream,
-                         alert_rules=rules)
+                         alert_rules=rules, trend=trend)
     if config.wants_forensics and run_info is not None:
         from repro.obs.forensics import ForensicRecorder
         info = dict(run_info)
@@ -375,5 +437,6 @@ def build_monitor_stack(config, machine=None, monitor=None,
             dump_dir=config.resolved_dump_dir(),
             label=label or info.get("workload", "run"),
             on_alert=config.dump_on_alert,
+            trend=trend,
         )
     return stack

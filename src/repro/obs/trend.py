@@ -1,0 +1,428 @@
+"""Streaming leak-trend analytics over :class:`SamplingProfiler` samples.
+
+SafeMem's lifetime-outlier heuristic (``repro.core.leak``) reasons
+about *individual allocations*; production leak hunting usually starts
+one level up, from the time series the telemetry stack already ships:
+is ``live_bytes`` for some allocation site still climbing after the
+service warmed up?  The :class:`TrendEngine` answers that question
+online.  It subscribes to the sampler (``sampler.add_listener(
+engine.observe)``) and maintains one bounded-window state per series:
+
+- ``heap.live_bytes`` -- whole-heap occupancy,
+- ``safemem.watch.armed`` -- watch-pool occupancy,
+- ``group:<size>:<call_signature>`` -- per-leak-group live bytes from
+  :func:`~repro.obs.sampler.leak_group_source` rows.
+
+Every observation runs **three** detectors over every series (they are
+cheap, and computing all of them keeps bundles and the head-to-head
+experiment comparable without re-running workloads):
+
+``theil-sen``
+    Robust slope: the median of all pairwise slopes over the window,
+    reported in **bytes per megacycle**.  Judged only once the window
+    is *full* -- the median then dilutes a one-off level step (a
+    buffer pool warming up) to ~0, so only a *sustained* ramp breaches.
+    Insensitive to up to ~29% outlier samples (GC pauses, burst
+    frees), but the slowest to react.
+``cusum``
+    One-sided cumulative sum over *increments*:
+    ``s = max(0, s + (x_t - x_{t-1}) - drift)``.  The statistic is net
+    growth in **bytes** above the allowed drift; fastest to react to a
+    step or a sustained ramp, least robust to a one-off spike.
+``page-hinkley``
+    Page-Hinkley test: ``m_t += x_t - mean_t - delta`` with statistic
+    ``m_t - min(m)``, the **cumulative** bytes above the running mean
+    (byte-samples).  Sits between the two: tolerates level shifts the
+    series recovers from, flags ones it does not.
+
+Each (series, detector) pair carries a hysteresis latch: the verdict
+becomes *breached* when the statistic crosses the detector threshold
+and clears only after it falls below ``threshold * clear_ratio``.
+Latch **edges** (onset and clear) are emitted as sparse
+:data:`~repro.common.events.EventKind.TREND` events -- stamped on the
+simulated clock, so forensic replay reproduces them bit-exactly -- and
+the latest verdicts are served to the :class:`~repro.obs.alerts.
+AlertEngine` through :meth:`TrendEngine.judge`, which interprets
+``trend``-kind rule metrics as ``<detector>/<series-pattern>``
+selectors.
+
+A tracked group series that vanishes from a sample (the workload freed
+the site, or it fell out of the sampler's top-N) is **ended**: its
+state is dropped so a later reappearance starts a fresh window instead
+of computing a slope across the gap.
+
+The engine exports a ``trend.*`` probe namespace (documented in
+docs/OBSERVABILITY.md); note that probe values captured *in* a sample
+reflect the previous observation, because the sampler snapshots
+metrics before listeners run.
+"""
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.events import EventKind
+
+#: detector names accepted in ``trend``-rule selectors and ``--trend``.
+DETECTORS = ("theil-sen", "cusum", "page-hinkley")
+
+#: samples per series window (Theil-Sen pairs grow quadratically).
+DEFAULT_WINDOW = 32
+
+#: minimum points before :func:`theil_sen_slope` reports (else 0.0);
+#: the engine is stricter and judges only on a *full* window.
+MIN_SLOPE_POINTS = 4
+
+#: slope unit: bytes per this many cycles.
+MEGACYCLE = 1_000_000
+
+#: default sustained-growth threshold, bytes per megacycle.
+DEFAULT_SLOPE_THRESHOLD = 64.0
+
+#: default net-growth threshold for CUSUM, bytes.  Sized above the
+#: steady-state footprint a clean working set accretes (the corpus'
+#: clean runs plateau below 8 KiB per group).
+DEFAULT_CUSUM_THRESHOLD = 16_384.0
+
+#: default cumulative above-running-mean threshold for Page-Hinkley,
+#: in byte-samples.  Clean transients in the corpus stay under ~45k.
+DEFAULT_PH_THRESHOLD = 131_072.0
+
+#: per-sample growth tolerated by CUSUM before it accumulates, bytes.
+DEFAULT_CUSUM_DRIFT = 0.0
+
+#: per-sample magnitude ignored by Page-Hinkley, bytes.
+DEFAULT_PH_DELTA = 0.0
+
+#: breached latches clear below ``threshold * clear_ratio``.
+DEFAULT_CLEAR_RATIO = 0.5
+
+
+def group_series_name(size, call_signature):
+    """Series name for one allocation group, e.g. ``group:48:0x2a``."""
+    return f"group:{size}:{call_signature:#x}"
+
+
+def parse_selector(selector):
+    """Split a ``<detector>/<series-pattern>`` selector.
+
+    The pattern is ``*`` (every series), a ``prefix*`` glob, or an
+    exact series name.  Raises :class:`ConfigurationError` on a
+    missing ``/`` or an unknown detector.
+    """
+    if not isinstance(selector, str) or "/" not in selector:
+        raise ConfigurationError(
+            f"trend selector {selector!r} must look like "
+            f"'<detector>/<series-pattern>' "
+            f"(e.g. 'theil-sen/group:*')"
+        )
+    detector, pattern = selector.split("/", 1)
+    if detector not in DETECTORS:
+        raise ConfigurationError(
+            f"trend selector {selector!r}: unknown detector "
+            f"{detector!r} (choose from {', '.join(DETECTORS)})"
+        )
+    if not pattern:
+        raise ConfigurationError(
+            f"trend selector {selector!r} has an empty series pattern"
+        )
+    return detector, pattern
+
+
+def series_matches(pattern, name):
+    """True when a selector pattern covers a series name."""
+    if pattern == "*":
+        return True
+    if pattern.endswith("*"):
+        return name.startswith(pattern[:-1])
+    return name == pattern
+
+
+@dataclass(frozen=True)
+class TrendVerdict:
+    """One detector's latest word on one series."""
+
+    series: str
+    detector: str
+    cycle: int
+    value: float
+    breached: bool
+
+    def to_dict(self):
+        return {
+            "series": self.series,
+            "detector": self.detector,
+            "cycle": self.cycle,
+            "value": self.value,
+            "breached": self.breached,
+        }
+
+
+class _SeriesState:
+    """Detector state for one tracked series."""
+
+    __slots__ = ("window", "last_value", "cusum", "ph_count", "ph_mean",
+                 "ph_m", "ph_min", "breached", "last_cycle",
+                 "points_seen")
+
+    def __init__(self, window):
+        #: (cycle, value) ring for the Theil-Sen window.
+        self.window = deque(maxlen=window)
+        self.last_value = None
+        self.cusum = 0.0
+        self.ph_count = 0
+        self.ph_mean = 0.0
+        self.ph_m = 0.0
+        self.ph_min = 0.0
+        #: detector name -> currently latched breached?
+        self.breached = {detector: False for detector in DETECTORS}
+        self.last_cycle = 0
+        self.points_seen = 0
+
+
+def theil_sen_slope(points):
+    """Median pairwise slope of ``(cycle, value)`` points, per cycle.
+
+    Returns 0.0 below :data:`MIN_SLOPE_POINTS` -- a two-sample
+    "window" is noise, not a trend.
+    """
+    if len(points) < MIN_SLOPE_POINTS:
+        return 0.0
+    slopes = []
+    for i in range(len(points)):
+        cycle_i, value_i = points[i]
+        for j in range(i + 1, len(points)):
+            cycle_j, value_j = points[j]
+            if cycle_j != cycle_i:
+                slopes.append((value_j - value_i) / (cycle_j - cycle_i))
+    if not slopes:
+        return 0.0
+    slopes.sort()
+    mid = len(slopes) // 2
+    if len(slopes) % 2:
+        return slopes[mid]
+    return (slopes[mid - 1] + slopes[mid]) / 2.0
+
+
+class TrendEngine:
+    """Online slope/changepoint detection over sampler series.
+
+    Attach with ``sampler.add_listener(engine.observe)`` **before** the
+    alert engine's listener, so ``trend``-kind rules judge the verdicts
+    of the sample being evaluated rather than the previous one.
+    """
+
+    def __init__(self, machine, window=DEFAULT_WINDOW,
+                 slope_threshold=DEFAULT_SLOPE_THRESHOLD,
+                 cusum_threshold=DEFAULT_CUSUM_THRESHOLD,
+                 cusum_drift=DEFAULT_CUSUM_DRIFT,
+                 ph_threshold=DEFAULT_PH_THRESHOLD,
+                 ph_delta=DEFAULT_PH_DELTA,
+                 clear_ratio=DEFAULT_CLEAR_RATIO):
+        if window < MIN_SLOPE_POINTS:
+            raise ConfigurationError(
+                f"trend window must be >= {MIN_SLOPE_POINTS}, "
+                f"got {window}"
+            )
+        if not 0.0 <= clear_ratio <= 1.0:
+            raise ConfigurationError(
+                f"trend clear_ratio must be within [0, 1], "
+                f"got {clear_ratio}"
+            )
+        self._machine = machine
+        self._events = machine.events
+        self.window = window
+        self.clear_ratio = clear_ratio
+        self.thresholds = {
+            "theil-sen": float(slope_threshold),
+            "cusum": float(cusum_threshold),
+            "page-hinkley": float(ph_threshold),
+        }
+        self.cusum_drift = float(cusum_drift)
+        self.ph_delta = float(ph_delta)
+        self._series = {}
+        #: series name -> {detector -> TrendVerdict} from the latest
+        #: observation of that series.
+        self._verdicts = {}
+        self.evaluations = 0
+        self.series_ended = 0
+        self.breach_onsets = 0
+        self._register_probes(machine.metrics)
+
+    # ------------------------------------------------------------------
+    # probes (documented in docs/OBSERVABILITY.md)
+    # ------------------------------------------------------------------
+    def _register_probes(self, metrics):
+        metrics.probe("trend.series", lambda: len(self._series),
+                      kind="gauge",
+                      description="series currently tracked")
+        metrics.probe("trend.evaluations",
+                      lambda: self.evaluations,
+                      description="samples observed by the engine")
+        metrics.probe("trend.verdicts", lambda: self.breach_onsets,
+                      description="breach onsets (latch closed)")
+        metrics.probe("trend.series_ended",
+                      lambda: self.series_ended,
+                      description="series ended (group freed or "
+                                  "evicted)")
+        metrics.probe("trend.breaching", self._breaching_count,
+                      kind="gauge",
+                      description="(series, detector) pairs latched "
+                                  "breached")
+        metrics.probe("trend.max_slope", self._max_slope, kind="gauge",
+                      description="largest Theil-Sen slope across "
+                                  "series, bytes/Mcycle")
+
+    def _breaching_count(self):
+        return sum(
+            1 for state in self._series.values()
+            for latched in state.breached.values() if latched
+        )
+
+    def _max_slope(self):
+        slopes = [
+            verdicts["theil-sen"].value
+            for verdicts in self._verdicts.values()
+            if "theil-sen" in verdicts
+        ]
+        return max(slopes) if slopes else 0.0
+
+    # ------------------------------------------------------------------
+    # observation (the sampler listener)
+    # ------------------------------------------------------------------
+    def observe(self, sample):
+        """Update every detector with one :class:`Sample`."""
+        self.evaluations += 1
+        values = {
+            "heap.live_bytes": float(sample.heap_live_bytes),
+            "safemem.watch.armed": float(sample.armed_watches),
+        }
+        for row in sample.groups:
+            name = group_series_name(row["size"],
+                                     row["call_signature"])
+            values[name] = float(row["live_bytes"])
+        for name in list(self._series):
+            if name not in values:
+                self._end_series(name, sample.cycle)
+        for name, value in sorted(values.items()):
+            self._observe_series(name, sample.cycle, value)
+
+    def _end_series(self, name, cycle):
+        state = self._series.pop(name)
+        self._verdicts.pop(name, None)
+        self.series_ended += 1
+        for detector, latched in sorted(state.breached.items()):
+            if latched:
+                self._events.emit(
+                    EventKind.TREND,
+                    series=name, detector=detector, breached=False,
+                    value=0.0, reason="series-ended",
+                )
+
+    def _observe_series(self, name, cycle, value):
+        state = self._series.get(name)
+        if state is None:
+            state = self._series[name] = _SeriesState(self.window)
+        previous = state.last_value
+        state.window.append((cycle, value))
+        state.last_cycle = cycle
+        state.points_seen += 1
+        # CUSUM over increments (needs a previous point).
+        if previous is not None:
+            state.cusum = max(
+                0.0, state.cusum + (value - previous) - self.cusum_drift
+            )
+        # Page-Hinkley running mean / minimum.
+        state.ph_count += 1
+        state.ph_mean += (value - state.ph_mean) / state.ph_count
+        state.ph_m += value - state.ph_mean - self.ph_delta
+        state.ph_min = min(state.ph_min, state.ph_m)
+        state.last_value = value
+        # Theil-Sen is judged only on a full window: the median of
+        # pairwise slopes then dilutes a one-off level step (clean
+        # warmup) to ~0, so only a sustained ramp reports a slope.
+        slope = 0.0
+        if len(state.window) == self.window:
+            slope = theil_sen_slope(state.window) * MEGACYCLE
+        statistics = {
+            "theil-sen": slope,
+            "cusum": state.cusum,
+            "page-hinkley": state.ph_m - state.ph_min,
+        }
+        verdicts = {}
+        for detector in DETECTORS:
+            stat = statistics[detector]
+            threshold = self.thresholds[detector]
+            clear_at = threshold * self.clear_ratio
+            latched = state.breached[detector]
+            if not latched and stat >= threshold:
+                latched = True
+                self.breach_onsets += 1
+                self._events.emit(
+                    EventKind.TREND,
+                    series=name, detector=detector, breached=True,
+                    value=stat,
+                )
+            elif latched and stat < clear_at:
+                latched = False
+                self._events.emit(
+                    EventKind.TREND,
+                    series=name, detector=detector, breached=False,
+                    value=stat,
+                )
+            state.breached[detector] = latched
+            verdicts[detector] = TrendVerdict(
+                series=name, detector=detector, cycle=cycle,
+                value=stat, breached=latched,
+            )
+        self._verdicts[name] = verdicts
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def judge(self, selector):
+        """Latest verdicts matching a ``<detector>/<pattern>`` selector.
+
+        Sorted by series name; used by ``trend``-kind alert rules.
+        """
+        detector, pattern = parse_selector(selector)
+        return [
+            self._verdicts[name][detector]
+            for name in sorted(self._verdicts)
+            if series_matches(pattern, name)
+        ]
+
+    def verdicts(self):
+        """Every latest verdict, sorted by (series, detector)."""
+        return [
+            self._verdicts[name][detector]
+            for name in sorted(self._verdicts)
+            for detector in DETECTORS
+        ]
+
+    def summary(self):
+        """JSON-able engine state for forensic bundles."""
+        series = []
+        for name in sorted(self._series):
+            state = self._series[name]
+            series.append({
+                "name": name,
+                "points": len(state.window),
+                "points_seen": state.points_seen,
+                "last_cycle": state.last_cycle,
+                "last_value": state.last_value,
+                "verdicts": [
+                    self._verdicts[name][detector].to_dict()
+                    for detector in DETECTORS
+                    if name in self._verdicts
+                ],
+            })
+        return {
+            "window": self.window,
+            "clear_ratio": self.clear_ratio,
+            "thresholds": dict(self.thresholds),
+            "evaluations": self.evaluations,
+            "series_ended": self.series_ended,
+            "breach_onsets": self.breach_onsets,
+            "series": series,
+        }

@@ -25,8 +25,11 @@ from repro.analysis.experiments import (
     Table4Row,
     Table5Result,
     Table5Row,
+    TrendHeadToHeadResult,
+    TrendScenarioRow,
 )
 from repro.analysis.fleet import SamplingCurveResult, SamplingPoint
+from repro.obs.trend import DETECTORS
 
 
 def good_context():
@@ -93,10 +96,28 @@ def good_context():
             ("chipkill-server", "chipkill", 24),
         )
     ])
+    trend = TrendHeadToHeadResult(sample_every=200_000, rows=[
+        TrendScenarioRow(
+            workload=name, buggy=True, cycles=100_000_000,
+            samples=500, baseline_cycle=80_000_000,
+            fired={detector: True for detector in DETECTORS},
+            first_cycle={detector: 40_000_000
+                         for detector in DETECTORS},
+        )
+        for name in ("ypserv1", "ypserv2")
+    ] + [
+        TrendScenarioRow(
+            workload=name, buggy=False, cycles=100_000_000,
+            samples=500, baseline_cycle=None,
+            fired={detector: False for detector in DETECTORS},
+            first_cycle={detector: None for detector in DETECTORS},
+        )
+        for name in ("ypserv1", "ypserv2")
+    ])
     return {
         "table2": table2, "table3": table3, "table4": table4,
         "table5": table5, "figure3": figure3, "codecs": codecs,
-        "sampling": sampling,
+        "sampling": sampling, "trend": trend,
     }
 
 
@@ -155,6 +176,24 @@ class TestClaimChecks:
         assert t2 and all(not r.passed for r in t2)
         assert "raised" in t2[0].evidence
 
+    def test_clean_run_trend_alert_fails_trend_claim(self):
+        context = good_context()
+        clean = context["trend"].row("ypserv1", buggy=False)
+        clean.fired["cusum"] = True
+        clean.first_cycle["cusum"] = 10_000_000
+        results = {r.claim.ident: r for r in validate(context=context)}
+        assert not results["TREND-pr"].passed
+        assert "ypserv1" in results["TREND-pr"].evidence
+
+    def test_never_winning_trend_fails_trend_claim(self):
+        context = good_context()
+        for row in context["trend"].rows:
+            if row.buggy:
+                for detector in DETECTORS:
+                    row.first_cycle[detector] = row.baseline_cycle + 1
+        results = {r.claim.ident: r for r in validate(context=context)}
+        assert not results["TREND-pr"].passed
+
     def test_reduction_out_of_range_fails_t4(self):
         context = good_context()
         context["table4"].rows[0].page_overhead_pct = 40_000.0
@@ -185,4 +224,4 @@ class TestClaimHygiene:
             assert claim.statement
             assert claim.source in ("table2", "table3", "table4",
                                     "table5", "figure3", "codecs",
-                                    "sampling")
+                                    "sampling", "trend")

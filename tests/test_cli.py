@@ -74,6 +74,7 @@ class TestParser:
 
         expected = {"--profile", "--sample-rate", "--sample-seed",
                     "--guard-budget", "--sample-every", "--rules",
+                    "--trend", "--trend-window",
                     "--stream", "--stream-max-bytes", "--dump-dir",
                     "--dump-on-alert"}
         for command in ("monitor", "fleet", "validate", "run"):

@@ -397,10 +397,12 @@ class TestStackAndFleetWiring:
         assert [ident for _, ident, _ in codec_jobs] == \
             [f"codec:{name}" for name in profile_names()]
         assert "codec-row" in JOB_KINDS
-        # Canonical-order pin: sampling stays last, codec rows ride
-        # between figure3 and sampling.
+        # Canonical-order pin: trend scenarios close the list, codec
+        # rows ride between figure3 and sampling.
         idents = [ident for _, ident, _ in specs]
-        assert idents[-1].startswith("sampling:")
+        assert idents[-1].startswith("trend:")
+        assert idents.index("codec:e7500") < idents.index(
+            "trend:ypserv1:buggy")
         assert idents.index("codec:e7500") > idents.index(
             "figure3:squid1")
 

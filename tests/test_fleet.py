@@ -43,7 +43,10 @@ class TestJobEnumeration:
             "table4:ypserv1")
         assert idents.index("figure3:ypserv1") < idents.index(
             f"sampling:{fleet.SAMPLING_CURVE_RATES[0]:g}")
-        assert idents[-1].startswith("sampling:")
+        assert idents.index(
+            f"sampling:{fleet.SAMPLING_CURVE_RATES[-1]:g}") \
+            < idents.index("trend:ypserv1:buggy")
+        assert idents[-1].startswith("trend:")
 
     def test_requests_declared_in_params(self):
         specs = fleet.enumerate_validation_jobs(requests=33)

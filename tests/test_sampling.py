@@ -241,34 +241,20 @@ class TestMonitorStackConfig:
 
 
 # ----------------------------------------------------------------------
-# deprecation shims: the old spellings still work, loudly
+# removed PR 7 shims: the old spellings now fail fast
 # ----------------------------------------------------------------------
-class TestDeprecationShims:
-    def test_safemem_config_keyword_warns_but_works(self):
-        with pytest.warns(DeprecationWarning, match="MonitorStackConfig"):
-            monitor = SafeMem(config=full_config())
-        assert monitor.config.detect_leaks
+class TestRemovedShims:
+    def test_safemem_positional_config_works(self):
+        assert SafeMem(full_config()).config.detect_leaks
 
-    def test_safemem_positional_config_is_silent(self):
-        SafeMem(full_config())  # no warning under -W error
-
-    def test_safemem_rejects_config_twice(self):
+    def test_safemem_rejects_config_keyword(self):
         with pytest.raises(TypeError):
-            SafeMem(full_config(), config=full_config())
+            SafeMem(config=full_config())
 
-    def test_run_fleet_legacy_keywords_warn_but_work(self):
-        with pytest.warns(DeprecationWarning, match="MonitorStackConfig"):
-            result = fleet.run_fleet("gzip", machines=1, requests=3,
-                                     jobs=1, rules="none",
-                                     sample_every=50_000)
-        assert result.sampled
-
-    def test_run_fleet_rejects_stack_plus_legacy(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError):
-                fleet.run_fleet("gzip", machines=1, jobs=1,
-                                stack=MonitorStackConfig(),
-                                rules="none")
+    def test_run_fleet_rejects_loose_monitoring_keywords(self):
+        with pytest.raises(TypeError):
+            fleet.run_fleet("gzip", machines=1, jobs=1, rules="none",
+                            sample_every=50_000)
 
     def test_run_fleet_rejects_unknown_keywords(self):
         with pytest.raises(TypeError):
@@ -279,14 +265,9 @@ class TestDeprecationShims:
             fleet.run_fleet("gzip", machines=1, jobs=1, monitor="native",
                             stack=MonitorStackConfig(monitor="safemem"))
 
-    def test_run_validation_dump_dir_warns(self):
-        # Passing both spellings trips the TypeError *after* the
-        # deprecation warning, which exercises the shim without paying
-        # for a full validation run.
-        with pytest.warns(DeprecationWarning, match="MonitorStackConfig"):
-            with pytest.raises(TypeError):
-                fleet.run_validation(dump_dir="dumps",
-                                     stack=MonitorStackConfig())
+    def test_run_validation_rejects_dump_dir_keyword(self):
+        with pytest.raises(TypeError):
+            fleet.run_validation(dump_dir="dumps")
 
     def test_run_validation_rejects_unknown_keywords(self):
         with pytest.raises(TypeError):

@@ -13,6 +13,7 @@ from repro.analysis import paper
 from repro.analysis.experiments import (
     experiment_codec_matrix,
     experiment_figure3,
+    experiment_season_headtohead,
     experiment_table2,
     experiment_table3,
     experiment_table4,
@@ -195,6 +196,34 @@ def _trend_headtohead(context):
                   f"{stats[best]['recall']:.2f}")
 
 
+def _season_headtohead(context):
+    result = context["season"]
+    clean = result.clean_seasonal_alerts()
+    if clean:
+        offenders = [
+            f"{row.workload}/{detector}"
+            for row in result.rows if not row.buggy
+            for detector, caught in sorted(row.fired.items()) if caught
+        ]
+        return False, (f"{clean} seasonal alert(s) on clean diurnal "
+                       f"runs: {offenders}")
+    quiet = result.clean_flat_quiet()
+    if quiet:
+        return False, ("flat control raised no false onset on clean "
+                       f"runs of: {quiet} -- the diurnal swing is not "
+                       "fooling flat detectors, so the comparison is "
+                       "vacuous")
+    missed = result.buggy_missed()
+    if missed:
+        return False, (f"no seasonal detector caught the injected "
+                       f"leak on: {missed}")
+    flat_false = sum(row.flat_onsets for row in result.rows
+                     if not row.buggy)
+    return True, (f"0 seasonal alerts vs {flat_false} flat false "
+                  f"onsets on clean diurnal runs; every injected leak "
+                  f"still caught")
+
+
 CLAIMS = [
     Claim("T2-values", "syscall costs match the paper's Table 2",
           _t2_microseconds, "table2"),
@@ -224,6 +253,10 @@ CLAIMS = [
           "leak no later than the lifetime-outlier method on at least "
           "one scenario, with zero alerts on clean runs",
           _trend_headtohead, "trend"),
+    Claim("SEASON-pr", "the seasonal baseline raises zero trend "
+          "alerts on clean diurnal traffic that false-alarms every "
+          "flat detector, while still catching every injected leak",
+          _season_headtohead, "season"),
 ]
 
 
@@ -241,6 +274,7 @@ def gather_context(requests=250):
         "codecs": experiment_codec_matrix(),
         "sampling": experiment_sampling_curve(),
         "trend": experiment_trend_headtohead(),
+        "season": experiment_season_headtohead(),
     }
 
 

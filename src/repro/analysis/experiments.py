@@ -823,3 +823,205 @@ def experiment_trend_headtohead(requests=None,
                                            requests=requests,
                                            sample_every=sample_every))
     return TrendHeadToHeadResult(sample_every=sample_every, rows=rows)
+
+
+# ----------------------------------------------------------------------
+# Seasonal baseline vs flat detectors under diurnal traffic
+# ----------------------------------------------------------------------
+#: the diurnal corpus: each leak server wrapped in seasonal session
+#: traffic (see repro.workloads.diurnal), run clean and leak-injected.
+SEASON_WORKLOADS = ("ypserv1-diurnal", "proftpd-diurnal",
+                    "squid1-diurnal", "ypserv2-diurnal")
+
+#: profiler interval for the seasonal scenarios; divides the diurnal
+#: period, so the per-phase baseline sees a stable sample cadence.
+SEASON_SAMPLE_EVERY = 200_000
+
+#: phase bins for the frozen baseline: one bin per two sample slots of
+#: the 60M-cycle period, fine enough that the within-bin seasonal swing
+#: stays far below every detector threshold.
+SEASON_PHASES = 150
+
+
+@dataclass
+class SeasonScenarioRow:
+    """One diurnal (workload, input) run scored seasonal vs flat."""
+
+    workload: str
+    buggy: bool
+    cycles: int
+    samples: int
+    #: first LEAK_REPORT cycle from the lifetime-outlier method (None
+    #: when no report -- clean runs).
+    baseline_cycle: object
+    #: detector name -> did its seasonal trend alert fire this run?
+    fired: dict
+    #: detector name -> cycle its seasonal alert first fired (or None).
+    first_cycle: dict
+    #: group-series breach onsets of the flat (no-baseline) control
+    #: engine watching the very same samples.
+    flat_onsets: int
+    #: first flat control onset cycle (or None).
+    flat_first_cycle: object
+
+
+def season_scenario_row(name, buggy, requests=None,
+                        sample_every=SEASON_SAMPLE_EVERY):
+    """Run one diurnal workload with seasonal and flat engines side by
+    side.
+
+    The seasonal :class:`~repro.obs.trend.TrendEngine` (period-folded
+    frozen baseline) drives the alert rules; a second, flat engine with
+    ``emit_events=False`` observes the identical samples as a purely
+    computational control -- it cannot perturb the event stream, and
+    its breach onsets are read from ``TrendEngine.onsets``.  One
+    simulation therefore scores both modes on the same cycles.
+    """
+    from repro.analysis.runner import (
+        CACHE_SIZE,
+        DRAM_SIZE,
+        make_monitor,
+    )
+    from repro.common.events import EventKind
+    from repro.obs.alerts import AlertEngine, default_trend_rules
+    from repro.obs.sampler import SamplingProfiler, leak_group_source
+    from repro.obs.trend import DETECTORS, TrendEngine
+    from repro.workloads.diurnal import SEASON_PERIOD_CYCLES
+
+    machine = Machine(dram_size=DRAM_SIZE, cache_size=CACHE_SIZE,
+                      cache_ways=16)
+    monitor = make_monitor("safemem")
+    sampler = SamplingProfiler(machine, interval_cycles=sample_every,
+                               group_source=leak_group_source(monitor))
+    trend = TrendEngine(machine, seasonal_period=SEASON_PERIOD_CYCLES,
+                        seasonal_phases=SEASON_PHASES)
+    flat = TrendEngine(machine, emit_events=False,
+                       register_probes=False)
+    rules = [rule for detector in DETECTORS
+             for rule in default_trend_rules(detector)]
+    engine = AlertEngine(rules, events=machine.events,
+                         metrics=machine.metrics, trend_source=trend)
+    sampler.add_listener(trend.observe)
+    sampler.add_listener(flat.observe)
+    sampler.add_listener(engine.evaluate)
+    sampler.start()
+    try:
+        result = run_workload(name, "safemem", buggy=buggy,
+                              requests=requests, machine=machine,
+                              monitor=monitor)
+    finally:
+        sampler.stop()
+    reports = machine.events.of_kind(EventKind.LEAK_REPORT)
+    fired = {}
+    first_cycle = {}
+    for detector in DETECTORS:
+        rule_name = f"leak-trend-{detector}"
+        firing = [transition.cycle for transition in engine.transitions
+                  if transition.rule == rule_name
+                  and transition.state == "firing"]
+        fired[detector] = bool(firing)
+        first_cycle[detector] = firing[0] if firing else None
+    flat_group_onsets = [onset for onset in flat.onsets
+                         if onset["series"].startswith("group:")]
+    return SeasonScenarioRow(
+        workload=name,
+        buggy=buggy,
+        cycles=result.cycles,
+        samples=sampler.samples_taken,
+        baseline_cycle=reports[0].cycle if reports else None,
+        fired=fired,
+        first_cycle=first_cycle,
+        flat_onsets=len(flat_group_onsets),
+        flat_first_cycle=(flat_group_onsets[0]["cycle"]
+                          if flat_group_onsets else None),
+    )
+
+
+@dataclass
+class SeasonHeadToHeadResult:
+    """Seasonal-baseline vs flat detection on diurnal traffic."""
+
+    sample_every: int
+    rows: list
+
+    def row(self, workload, buggy):
+        for row in self.rows:
+            if row.workload == workload and row.buggy == buggy:
+                return row
+        raise KeyError(f"no season scenario for ({workload}, {buggy})")
+
+    def clean_seasonal_alerts(self):
+        """Seasonal trend alerts across every clean diurnal run."""
+        return sum(
+            1 for row in self.rows if not row.buggy
+            for caught in row.fired.values() if caught
+        )
+
+    def clean_flat_quiet(self):
+        """Clean runs where the flat control raised NO false onset."""
+        return [row.workload for row in self.rows
+                if not row.buggy and row.flat_onsets == 0]
+
+    def buggy_missed(self):
+        """Buggy runs no seasonal detector caught."""
+        return [row.workload for row in self.rows
+                if row.buggy and not any(row.fired.values())]
+
+    def render(self):
+        from repro.obs.trend import DETECTORS
+
+        def fmt_cycle(value):
+            return f"{value:,}" if value is not None else "-"
+
+        clean_rows = []
+        buggy_rows = []
+        for row in self.rows:
+            if row.buggy:
+                buggy_rows.append((
+                    row.workload,
+                    fmt_cycle(row.baseline_cycle),
+                    *(fmt_cycle(row.first_cycle.get(d))
+                      for d in DETECTORS),
+                    row.flat_onsets,
+                ))
+            else:
+                clean_rows.append((
+                    row.workload,
+                    sum(1 for caught in row.fired.values() if caught),
+                    row.flat_onsets,
+                    fmt_cycle(row.flat_first_cycle),
+                ))
+        clean = render_table(
+            "Clean diurnal traffic: seasonal baseline vs flat "
+            "detectors",
+            ["App", "seasonal alerts", "flat false onsets",
+             "first flat onset"],
+            clean_rows,
+            note="the flat control watches the identical samples with "
+                 "no baseline; every onset on a clean run is a false "
+                 "alarm",
+        )
+        buggy = render_table(
+            "Injected leak under diurnal traffic: first seasonal "
+            "alert cycle",
+            ["App", "lifetime-outlier", *DETECTORS,
+             "flat onsets"],
+            buggy_rows,
+            note=f"sampled every {self.sample_every:,} cycles; the "
+                 f"seasonal baseline subtracts the diurnal swing, so "
+                 f"a firing detector saw residual leak growth",
+        )
+        return clean + "\n\n" + buggy
+
+
+def experiment_season_headtohead(requests=None,
+                                 sample_every=SEASON_SAMPLE_EVERY):
+    """The diurnal clean/buggy sweep (serial path; validation shards
+    it)."""
+    rows = []
+    for name in SEASON_WORKLOADS:
+        for buggy in (True, False):
+            rows.append(season_scenario_row(name, buggy,
+                                            requests=requests,
+                                            sample_every=sample_every))
+    return SeasonHeadToHeadResult(sample_every=sample_every, rows=rows)

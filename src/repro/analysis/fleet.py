@@ -37,16 +37,20 @@ import json
 import multiprocessing
 import os
 import pathlib
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.analysis.experiments import (
     FIGURE3_WORKLOADS,
+    SEASON_SAMPLE_EVERY,
+    SEASON_WORKLOADS,
     TREND_SAMPLE_EVERY,
     TREND_WORKLOADS,
     CodecMatrixResult,
     CodecTradeoffRow,
     Figure3Result,
     Figure3Series,
+    SeasonHeadToHeadResult,
+    SeasonScenarioRow,
     Table2Result,
     Table3Result,
     Table3Row,
@@ -59,6 +63,7 @@ from repro.analysis.experiments import (
     codec_tradeoff_row,
     experiment_table2,
     figure3_series,
+    season_scenario_row,
     table3_row,
     table4_row,
     table5_row,
@@ -80,7 +85,11 @@ from repro.common.errors import (
 )
 from repro.core.sampling import SamplingPolicy
 from repro.ecc.profile import profile_names
-from repro.obs.merge import dump_registry, merge_dumps
+from repro.obs.merge import (
+    dump_registry,
+    merge_dumps,
+    merge_history_documents,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.stack import MonitorStackConfig, build_monitor_stack
 from repro.workloads.registry import (
@@ -176,12 +185,27 @@ def _run_fleet_machine(params):
     config = _machine_stack_config(params)
     stack = None
     machine = monitor = None
+    run_info = None
+    if config.wants_checkpoints:
+        # The checkpoint scheduler records the run description in each
+        # checkpoint document.  Forensic dumps in fleet mode are armed
+        # by run_jobs' boot tap, not by the stack, so strip the dump
+        # config here -- otherwise run_info would arm a second
+        # recorder.
+        run_info = {"workload": params["workload"],
+                    "monitor": params["monitor"],
+                    "buggy": params["buggy"],
+                    "requests": params["requests"],
+                    "seed": params["seed"]}
+        config = replace(config, dump_dir=None, dump_on_alert=False)
     if config.sampling is not None or config.wants_profiler \
-            or config.stream is not None or params.get("forensics"):
+            or config.stream is not None or config.wants_checkpoints \
+            or params.get("forensics"):
         # Pre-boot the full stack so the monitoring components (and, in
         # forensic mode, the panic handler below) can see the machine.
         stack = build_monitor_stack(config,
-                                    label=f"m{params['index']}")
+                                    label=f"m{params['index']}",
+                                    run_info=run_info)
         machine, monitor = stack.machine, stack.monitor
         stack.start()
     try:
@@ -189,7 +213,14 @@ def _run_fleet_machine(params):
             params["workload"], params["monitor"], buggy=params["buggy"],
             requests=params["requests"], seed=params["seed"],
             machine=machine, monitor=monitor, profile=config.profile,
+            request_hook=(stack.request_hook
+                          if stack is not None else None),
         )
+        history_doc = (stack.history.to_dict()
+                       if stack is not None and stack.history is not None
+                       else None)
+        checkpoint_paths = ([str(path) for path in stack.checkpoint_paths]
+                            if stack is not None else [])
     except MachinePanic as error:
         if machine is None:
             raise
@@ -240,6 +271,8 @@ def _run_fleet_machine(params):
                          if stack is not None else 0),
         detected=_machine_detected(params["workload"], params["buggy"],
                                    params["monitor"], result),
+        history=history_doc,
+        checkpoints=checkpoint_paths,
     )
 
 
@@ -301,6 +334,14 @@ JOB_KINDS = {
         encode=asdict,
         decode=lambda payload: TrendScenarioRow(**payload),
     ),
+    "season-scenario": _JobKind(
+        run=lambda params: season_scenario_row(
+            params["name"], params["buggy"],
+            requests=params["requests"],
+            sample_every=params["sample_every"]),
+        encode=asdict,
+        decode=lambda payload: SeasonScenarioRow(**payload),
+    ),
 }
 
 
@@ -336,6 +377,13 @@ def enumerate_validation_jobs(requests=250):
                           {"name": name, "buggy": buggy,
                            "requests": None,
                            "sample_every": TREND_SAMPLE_EVERY}))
+    for name in SEASON_WORKLOADS:
+        for buggy in (True, False):
+            label = "buggy" if buggy else "clean"
+            specs.append(("season-scenario", f"season:{name}:{label}",
+                          {"name": name, "buggy": buggy,
+                           "requests": None,
+                           "sample_every": SEASON_SAMPLE_EVERY}))
     return specs
 
 
@@ -666,6 +714,12 @@ def assemble_context(payloads):
                   for name in TREND_WORKLOADS
                   for label in ("buggy", "clean")],
         ),
+        "season": SeasonHeadToHeadResult(
+            sample_every=SEASON_SAMPLE_EVERY,
+            rows=[payloads[f"season:{name}:{label}"]
+                  for name in SEASON_WORKLOADS
+                  for label in ("buggy", "clean")],
+        ),
     }
 
 
@@ -716,7 +770,7 @@ def run_validation(requests=250, jobs=None, cache_dir=None,
 
 
 RESULT_FILES = ("table2", "table3", "table4", "table5", "figure3",
-                "codecs", "trend")
+                "codecs", "trend", "season")
 
 
 def write_result_artifacts(context, results_dir):
@@ -760,6 +814,10 @@ class MachineReport:
     #: did this machine's monitor catch the workload's injected bug?
     #: (always False on normal input or under the native monitor)
     detected: bool = False
+    #: this machine's ``repro.history/v1`` document (``--history`` only).
+    history: object = None
+    #: checkpoint paths this machine wrote (``--checkpoint-every`` only).
+    checkpoints: list = field(default_factory=list)
 
 
 @dataclass
@@ -800,6 +858,20 @@ class FleetResult:
         """True when the fleet ran with the monitoring stack enabled."""
         return self.metrics is not None and \
             "sampler.samples" in self.metrics.values
+
+    @property
+    def history(self):
+        """Fleet-merged ``repro.history/v1`` document, or None.
+
+        Each machine's tiered history crosses the process boundary on
+        its :class:`MachineReport`; the merge is the same associative
+        fold :mod:`repro.obs.merge` applies to metric dumps.
+        """
+        documents = [report.history for report in self.reports
+                     if report.history]
+        if not documents:
+            return None
+        return merge_history_documents(documents)
 
     @property
     def allocation_sampled(self):
@@ -874,6 +946,12 @@ class FleetResult:
         if dumped:
             note += "\nforensic dumps:"
             for index, path in dumped:
+                note += f"\n  machine {index}: {path}"
+        checkpoints = [(report.index, path) for report in self.reports
+                       for path in report.checkpoints]
+        if checkpoints:
+            note += "\ncheckpoints:"
+            for index, path in checkpoints:
                 note += f"\n  machine {index}: {path}"
         return render_table(
             f"Fleet: {len(self.reports)} machines of {self.workload} "

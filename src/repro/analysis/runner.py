@@ -144,7 +144,7 @@ def run_workload(workload_name, monitor_name="native", buggy=False,
                  requests=None, seed=0, dram_size=DRAM_SIZE,
                  heap_size=HEAP_SIZE, cache_size=CACHE_SIZE,
                  monitor=None, machine=None, release=False,
-                 profile=None):
+                 profile=None, request_hook=None):
     """Run one workload under one monitor; return a :class:`RunResult`.
 
     ``buggy=False`` is the paper's overhead-measurement setting (normal
@@ -159,6 +159,10 @@ def run_workload(workload_name, monitor_name="native", buggy=False,
     skew its accounting.  The previous program's address space must
     have been released (``release=True`` does it for this run's
     program once the workload finishes).
+
+    ``request_hook`` is passed through to
+    :meth:`~repro.workloads.base.Workload.run` -- an observation-only
+    callback at each request boundary (checkpoint capture).
     """
     if machine is None:
         machine = Machine(dram_size=dram_size, cache_size=cache_size,
@@ -181,7 +185,8 @@ def run_workload(workload_name, monitor_name="native", buggy=False,
             tap(machine, monitor, run_info)
     with machine.tracer.span(f"workload.{workload_name}",
                              monitor=monitor_name, buggy=buggy):
-        truth = workload.run(program, buggy=buggy)
+        truth = workload.run(program, buggy=buggy,
+                             request_hook=request_hook)
     if release:
         program.release()
     end = machine.metrics.snapshot()

@@ -19,8 +19,16 @@ Commands:
 - ``replay``  re-runs a forensic bundle's recorded workload
   deterministically to an optional breakpoint and differentially
   verifies the event stream against the recording;
+- ``resume``  resumes a ``repro.checkpoint/v1`` run: re-executes the
+  recorded run from its seed, verifies the reconstructed state
+  bit-exactly at the recorded request boundary, and continues to the
+  requested horizon (``--checkpoint-every`` writes the checkpoints);
+- ``history`` renders -- and, given several files, merges -- tiered
+  ``repro.history/v1`` metric history (``--history`` records it);
 - ``inspect`` summarizes a ``repro.dump/v1`` bundle, a
-  ``repro.metrics/v1`` snapshot, or a ``repro.events/v1`` stream;
+  ``repro.metrics/v1`` snapshot, a ``repro.events/v1`` stream, a
+  ``repro.checkpoint/v1`` document, or a ``repro.history/v1``
+  document;
 - ``diff``    compares two bundles / metrics snapshots (counter
   deltas, histogram shift, alerts appearing/disappearing);
 - ``run``     runs one workload under one monitor and prints a summary;
@@ -73,7 +81,7 @@ from repro.obs.stack import (
     add_monitoring_arguments,
     build_monitor_stack,
 )
-from repro.workloads.registry import WORKLOADS, all_workload_names
+from repro.workloads.registry import WORKLOADS
 
 
 def build_parser():
@@ -180,6 +188,11 @@ def build_parser():
         help="write the merged fleet telemetry as repro.metrics/v1 "
              "JSON",
     )
+    fleet_parser.add_argument(
+        "--emit-history", metavar="PATH", default=None,
+        help="write the fleet-merged tiered history as "
+             "repro.history/v1 JSON (requires --history)",
+    )
 
     monitor_parser = sub.add_parser(
         "monitor",
@@ -190,7 +203,7 @@ def build_parser():
         parents=[add_monitoring_arguments(
             sample_every_default=DEFAULT_SAMPLE_EVERY)],
     )
-    monitor_parser.add_argument("workload", choices=all_workload_names())
+    monitor_parser.add_argument("workload", choices=sorted(WORKLOADS))
     monitor_parser.add_argument(
         "--monitor", default="safemem",
         choices=sorted(MONITOR_FACTORIES),
@@ -211,6 +224,11 @@ def build_parser():
     monitor_parser.add_argument(
         "--emit-metrics", metavar="PATH", default=None,
         help="write the run's metrics as repro.metrics/v1 JSON",
+    )
+    monitor_parser.add_argument(
+        "--emit-history", metavar="PATH", default=None,
+        help="write the run's tiered history as repro.history/v1 "
+             "JSON (requires --history)",
     )
 
     replay_parser = sub.add_parser(
@@ -235,14 +253,51 @@ def build_parser():
              "stream",
     )
 
+    resume_parser = sub.add_parser(
+        "resume",
+        help="resume a checkpointed run: re-execute from the seed, "
+             "verify bit-exactness at the recorded boundary, continue",
+    )
+    resume_parser.add_argument(
+        "checkpoint", help="repro.checkpoint/v1 document path")
+    resume_parser.add_argument(
+        "--requests", type=int, default=None, metavar="N",
+        help="run to N total requests (default: the recorded horizon)",
+    )
+    resume_parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the bit-exact state comparison at the recorded "
+             "request boundary",
+    )
+
+    history_parser = sub.add_parser(
+        "history",
+        help="render tiered metric history; several files merge "
+             "fleet-style before rendering",
+    )
+    history_parser.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="repro.history/v1 files (more than one merges them)")
+    history_parser.add_argument(
+        "--series", default=None, metavar="NAME",
+        help="show one series only (e.g. heap.live_bytes)")
+    history_parser.add_argument(
+        "--buckets", type=int, default=8, metavar="N",
+        help="newest buckets shown per tier (default 8)")
+    history_parser.add_argument(
+        "--emit", metavar="PATH", default=None,
+        help="also write the (merged) document as repro.history/v1 "
+             "JSON")
+
     inspect_parser = sub.add_parser(
         "inspect",
         help="summarize a forensic bundle, metrics snapshot, or "
              "events stream",
     )
     inspect_parser.add_argument(
-        "path", help="a repro.dump/v1, repro.metrics/v1, or "
-                     "repro.events/v1 file")
+        "path", help="a repro.dump/v1, repro.metrics/v1, "
+                     "repro.events/v1, repro.checkpoint/v1, or "
+                     "repro.history/v1 file")
     inspect_parser.add_argument(
         "--events", action="store_true",
         help="list the bundle's recorded event tail")
@@ -290,7 +345,7 @@ def build_parser():
         "run", help="run one workload under one monitor",
         parents=[monitoring],
     )
-    run_parser.add_argument("workload", choices=all_workload_names())
+    run_parser.add_argument("workload", choices=sorted(WORKLOADS))
     run_parser.add_argument(
         "--monitor", default="safemem",
         choices=sorted(MONITOR_FACTORIES),
@@ -307,12 +362,17 @@ def build_parser():
         "--emit-metrics", metavar="PATH", default=None,
         help="write the run's metrics as repro.metrics/v1 JSON",
     )
+    run_parser.add_argument(
+        "--emit-history", metavar="PATH", default=None,
+        help="write the run's tiered history as repro.history/v1 "
+             "JSON (requires --history)",
+    )
 
     stats_parser = sub.add_parser(
         "stats",
         help="run one workload and print its metrics snapshot",
     )
-    stats_parser.add_argument("workload", choices=all_workload_names())
+    stats_parser.add_argument("workload", choices=sorted(WORKLOADS))
     stats_parser.add_argument(
         "--monitor", default="safemem",
         choices=sorted(MONITOR_FACTORIES),
@@ -356,6 +416,39 @@ def _emit_metrics(path, result, out):
               f"{len(document.get('spans', []))} spans)\n")
 
 
+def _write_history(path, document, out):
+    """Write one ``repro.history/v1`` document as indented JSON."""
+    import json
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as stream:
+        json.dump(document, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    out.write(f"history:   {path} "
+              f"({len(document['series'])} series, "
+              f"{document['observations']:,} observations)\n")
+
+
+def _check_emit_history(args, config):
+    """``--emit-history`` is meaningless without ``--history``."""
+    if getattr(args, "emit_history", None) and not config.wants_history:
+        from repro.common.errors import ConfigurationError
+        raise ConfigurationError(
+            "--emit-history requires --history (nothing was recorded)")
+
+
+def _write_stack_outputs(stack, args, out):
+    """Post-run checkpoint/history output lines shared by run/monitor."""
+    for path in stack.checkpoint_paths:
+        out.write(f"checkpoint: {path}\n")
+    if stack.scheduler is not None and stack.scheduler.checkpoints_skipped:
+        out.write(f"checkpoint: {stack.scheduler.checkpoints_skipped} "
+                  f"capture(s) skipped past the "
+                  f"{stack.scheduler.max_checkpoints}-checkpoint cap\n")
+    if getattr(args, "emit_history", None) and stack.history is not None:
+        _write_history(args.emit_history, stack.history.to_dict(), out)
+
+
 def _stack_run_info(args, config):
     """The replayable run description a forensic bundle records."""
     return {
@@ -370,8 +463,11 @@ def _stack_run_info(args, config):
 def command_run(args, out):
     from repro.common.errors import MachinePanic
     config = MonitorStackConfig.from_args(args)
+    _check_emit_history(args, config)
     active = (config.sampling is not None or config.wants_profiler
-              or config.stream is not None or config.wants_forensics)
+              or config.stream is not None or config.wants_forensics
+              or config.wants_checkpoints)
+    stack = None
     if active:
         # No label: a single-machine run streams to the exact path the
         # user gave; only fleet machines suffix their stream files.
@@ -383,7 +479,8 @@ def command_run(args, out):
                 result = run_workload(
                     args.workload, config.monitor, buggy=args.buggy,
                     requests=args.requests, seed=args.seed,
-                    machine=stack.machine, monitor=stack.monitor)
+                    machine=stack.machine, monitor=stack.monitor,
+                    request_hook=stack.request_hook)
             except MachinePanic as error:
                 if stack.recorder is None:
                     raise
@@ -449,6 +546,8 @@ def command_run(args, out):
         out.write("\n" + render_safemem_diagnostics(monitor) + "\n")
     if args.emit_metrics:
         _emit_metrics(args.emit_metrics, result, out)
+    if stack is not None:
+        _write_stack_outputs(stack, args, out)
     return 0
 
 
@@ -539,6 +638,8 @@ def command_fleet(args, out):
         )
         out.write(curve.render() + "\n")
         return 0
+    config = MonitorStackConfig.from_args(args)
+    _check_emit_history(args, config)
     try:
         result = fleet.run_fleet(
             args.workload,
@@ -547,7 +648,7 @@ def command_fleet(args, out):
             buggy=args.buggy,
             jobs=args.jobs,
             base_seed=args.seed,
-            stack=MonitorStackConfig.from_args(args),
+            stack=config,
         )
     except FleetError as error:
         out.write(f"fleet error: {error}\n")
@@ -564,6 +665,8 @@ def command_fleet(args, out):
         )
         out.write(f"metrics:   {args.emit_metrics} "
                   f"({len(document['metrics'])} metrics)\n")
+    if args.emit_history and result.history is not None:
+        _write_history(args.emit_history, result.history, out)
     return 0
 
 
@@ -572,6 +675,7 @@ def command_monitor(args, out):
     from repro.obs.sampler import render_top
 
     config = MonitorStackConfig.from_args(args)
+    _check_emit_history(args, config)
     # No label: stream to the exact --stream path (fleet machines are
     # the only per-machine-suffixed writers).
     stack = build_monitor_stack(
@@ -598,7 +702,8 @@ def command_monitor(args, out):
                                   buggy=args.buggy,
                                   requests=args.requests,
                                   seed=args.seed, machine=machine,
-                                  monitor=monitor)
+                                  monitor=monitor,
+                                  request_hook=stack.request_hook)
         except MachinePanic as error:
             if stack.recorder is None:
                 raise
@@ -665,6 +770,7 @@ def command_monitor(args, out):
                 out.write(f"dump:      {path}\n")
         if args.emit_metrics:
             _emit_metrics(args.emit_metrics, result, out)
+        _write_stack_outputs(stack, args, out)
         return 0
     finally:
         # Exception-safe teardown: the stream always detaches and the
@@ -706,12 +812,70 @@ def command_replay(args, out):
     return 0 if ok else 1
 
 
+def command_resume(args, out):
+    from repro.obs import checkpoint as ckpt
+    document = ckpt.load_checkpoint(args.checkpoint)
+    out.write(ckpt.render_checkpoint_summary(document) + "\n")
+    result = ckpt.resume_checkpoint(document,
+                                    requests=args.requests,
+                                    verify=not args.no_verify)
+    out.write(f"resumed:   to cycle {result.machine.clock.cycles:,} "
+              f"(checkpoint was at cycle "
+              f"{result.checkpoint_cycle:,})\n")
+    if result.panic is not None:
+        out.write(f"re-panicked: {result.panic}\n")
+    elif result.truth is not None:
+        out.write(f"requests:  "
+                  f"{result.truth.requests_completed} completed\n")
+        if result.truth.detection is not None:
+            out.write(f"stopped at detection: "
+                      f"{result.truth.detection.report}\n")
+    if args.no_verify:
+        out.write("verify:    skipped (--no-verify)\n")
+        return 0
+    ok = bool(result.verified)
+    out.write(f"verify:    {'OK' if ok else 'DIVERGED'} -- "
+              f"{result.verify_message}\n")
+    return 0 if ok else 1
+
+
+def command_history(args, out):
+    from repro.obs import forensics
+    from repro.obs.history import merge_history_documents, render_history
+    documents = []
+    for path in args.paths:
+        kind, payload = forensics.load_document(path)
+        if kind != "history":
+            from repro.common.errors import ConfigurationError
+            raise ConfigurationError(
+                f"{path} is a {kind} document; `repro history` reads "
+                f"repro.history/v1 files")
+        documents.append(payload)
+    document = (documents[0] if len(documents) == 1
+                else merge_history_documents(documents))
+    if len(documents) > 1:
+        out.write(f"merged {len(documents)} documents\n")
+    out.write(render_history(document, series=args.series,
+                             buckets=args.buckets) + "\n")
+    if args.emit:
+        _write_history(args.emit, document, out)
+    return 0
+
+
 def command_inspect(args, out):
     from repro.obs import forensics
     from repro.obs.export import snapshot_from_document
     kind, payload = forensics.load_document(args.path)
     if kind == "stream":
         out.write(forensics.render_stream_summary(payload) + "\n")
+        return 0
+    if kind == "checkpoint":
+        from repro.obs.checkpoint import render_checkpoint_summary
+        out.write(render_checkpoint_summary(payload) + "\n")
+        return 0
+    if kind == "history":
+        from repro.obs.history import render_history
+        out.write(render_history(payload, buckets=args.limit) + "\n")
         return 0
     if kind == "metrics":
         out.write(render_metrics_table(
@@ -802,6 +966,10 @@ def main(argv=None, out=None):
         return command_monitor(args, out)
     elif args.command == "replay":
         return command_replay(args, out)
+    elif args.command == "resume":
+        return command_resume(args, out)
+    elif args.command == "history":
+        return command_history(args, out)
     elif args.command == "inspect":
         return command_inspect(args, out)
     elif args.command == "diff":

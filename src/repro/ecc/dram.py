@@ -9,6 +9,8 @@ the DIMM stores extra bits and the memory controller implements the
 code.
 """
 
+import hashlib
+
 from repro.common.constants import ECC_GROUP_BYTES, is_aligned
 from repro.common.errors import BusError, ConfigurationError
 
@@ -141,6 +143,22 @@ class PhysicalMemory:
         """Return the stored check bits of the group at ``address``."""
         self._require_group(address)
         return self._read_check_value(address // ECC_GROUP_BYTES)
+
+    # ------------------------------------------------------------------
+    # integrity digests (checkpoint verification)
+    # ------------------------------------------------------------------
+    def digest(self):
+        """SHA-256 hexdigests of the data and check arrays.
+
+        Checkpoint documents record these instead of the (tens of
+        megabytes of) raw contents: resume re-executes the run
+        deterministically and verifies the reconstructed memory image
+        against the recorded digests.
+        """
+        return {
+            "data": hashlib.sha256(self._data).hexdigest(),
+            "check": hashlib.sha256(self._check).hexdigest(),
+        }
 
     # ------------------------------------------------------------------
     # fault injection (tests / hardware-error simulation)

@@ -400,6 +400,73 @@ class AlertEngine:
             for name, alert in sorted(self.alerts.items())
         }
 
+    # ------------------------------------------------------------------
+    # durable state (repro.checkpoint/v1)
+    # ------------------------------------------------------------------
+    def state_dict(self):
+        """JSON-able per-rule runtime state plus the transition log.
+
+        Rule *definitions* are not captured here -- they travel in the
+        run's monitoring configuration; this is only the mutable state
+        machines, so ``load_state(state_dict())`` on an engine built
+        from the same rules is the identity.
+        """
+        return {
+            "evaluations": self.evaluations,
+            "alerts": {
+                name: {
+                    "state": alert.state,
+                    "breach_streak": alert.breach_streak,
+                    "clear_streak": alert.clear_streak,
+                    "fired_count": alert.fired_count,
+                    "resolved_count": alert.resolved_count,
+                    "last_value": alert.last_value,
+                    "fired_at_cycle": alert.fired_at_cycle,
+                    "previous": (list(alert._previous)
+                                 if alert._previous is not None
+                                 else None),
+                }
+                for name, alert in sorted(self.alerts.items())
+            },
+            "transitions": [transition.to_dict()
+                            for transition in self.transitions],
+        }
+
+    def load_state(self, payload):
+        """Restore :meth:`state_dict` output into this engine.
+
+        The engine must have been built from the same rule set the
+        checkpoint was taken under; an unknown or missing rule name is
+        a configuration error.
+        """
+        recorded = set(payload["alerts"])
+        mine = set(self.alerts)
+        if recorded != mine:
+            raise ConfigurationError(
+                f"alert state mismatch: recorded rules "
+                f"{sorted(recorded)}, engine has {sorted(mine)}"
+            )
+        self.evaluations = payload["evaluations"]
+        for name, record in payload["alerts"].items():
+            alert = self.alerts[name]
+            alert.state = record["state"]
+            alert.breach_streak = record["breach_streak"]
+            alert.clear_streak = record["clear_streak"]
+            alert.fired_count = record["fired_count"]
+            alert.resolved_count = record["resolved_count"]
+            alert.last_value = record["last_value"]
+            alert.fired_at_cycle = record["fired_at_cycle"]
+            alert._previous = (tuple(record["previous"])
+                               if record["previous"] is not None
+                               else None)
+        self.transitions = [
+            AlertTransition(record["cycle"], record["rule"],
+                            record["severity"], record["state"],
+                            record["value"])
+            for record in payload.get("transitions", [])
+        ]
+        return self
+
 
 # ----------------------------------------------------------------------
 # built-in rule set and rule files

@@ -378,11 +378,24 @@ def replay_bundle(bundle, until_cycle=None, break_on=None):
         if trend_info:
             # The trend engine emits TREND events into the log, so a
             # bundle captured with one only replays bit-exactly when
-            # the replay runs the same engine in the same listener slot.
-            from repro.obs.trend import DEFAULT_WINDOW, TrendEngine
-            trend = TrendEngine(machine,
-                                window=trend_info.get("window")
-                                or DEFAULT_WINDOW)
+            # the replay runs the same engine in the same listener slot
+            # -- including any seasonal baseline the original carried,
+            # which gates and shifts what the detectors see.
+            from repro.obs.trend import (
+                DEFAULT_SEASONAL_PHASES,
+                DEFAULT_SEASONAL_WARMUP,
+                DEFAULT_WINDOW,
+                TrendEngine,
+            )
+            trend = TrendEngine(
+                machine,
+                window=trend_info.get("window") or DEFAULT_WINDOW,
+                seasonal_period=trend_info.get("seasonal_period"),
+                seasonal_phases=(trend_info.get("seasonal_phases")
+                                 or DEFAULT_SEASONAL_PHASES),
+                seasonal_warmup=(trend_info.get("seasonal_warmup")
+                                 or DEFAULT_SEASONAL_WARMUP),
+            )
             sampler.add_listener(trend.observe)
         rules = [AlertRule.from_dict(spec)
                  for spec in monitoring.get("rules", [])]
@@ -518,15 +531,33 @@ def verify_replay(bundle, result):
 # ----------------------------------------------------------------------
 # inspection
 # ----------------------------------------------------------------------
+def known_document_schemas():
+    """``{schema string: inspect kind}`` for every loadable document."""
+    from repro.obs.checkpoint import CHECKPOINT_SCHEMA
+    from repro.obs.export import SCHEMA as METRICS_SCHEMA
+    from repro.obs.history import HISTORY_SCHEMA
+    from repro.obs.sink import EVENTS_SCHEMA
+    return {
+        DUMP_SCHEMA: "dump",
+        METRICS_SCHEMA: "metrics",
+        EVENTS_SCHEMA: "stream",
+        CHECKPOINT_SCHEMA: "checkpoint",
+        HISTORY_SCHEMA: "history",
+    }
+
+
 def load_document(path):
-    """Load a bundle, a metrics snapshot, or an events stream.
+    """Load any versioned repro document by its schema tag.
 
     Returns ``(kind, payload)`` where kind is ``"dump"``,
-    ``"metrics"``, or ``"stream"`` (a list of ``repro.events/v1``
-    records for JSONL streams).
+    ``"metrics"``, ``"checkpoint"``, ``"history"``, or ``"stream"``
+    (a list of ``repro.events/v1`` records for JSONL streams).  An
+    unrecognized or future-version schema fails with an error naming
+    the offending string and every schema this build understands, so
+    documents written by newer builds degrade loudly, not obscurely.
     """
-    from repro.obs.export import SCHEMA as METRICS_SCHEMA
     from repro.obs.sink import EVENTS_SCHEMA, read_jsonl
+    known = known_document_schemas()
     path = pathlib.Path(path)
     text = path.read_text()
     try:
@@ -535,14 +566,16 @@ def load_document(path):
         document = None
     if isinstance(document, dict):
         schema = document.get("schema")
-        if schema == DUMP_SCHEMA:
-            return "dump", document
-        if schema == METRICS_SCHEMA:
-            return "metrics", document
-        if schema == EVENTS_SCHEMA:
+        kind = known.get(schema)
+        if kind == "stream":
             # A one-record stream parses as a single JSON document.
             return "stream", [document]
-        raise ConfigurationError(f"{path}: unknown schema {schema!r}")
+        if kind is not None:
+            return kind, document
+        raise ConfigurationError(
+            f"{path}: unrecognized schema {schema!r}; this build "
+            f"understands: " + ", ".join(sorted(known))
+        )
     records = read_jsonl(path)
     if records and all(record.get("schema") == EVENTS_SCHEMA
                        for record in records):

@@ -92,6 +92,18 @@ class Sample:
             "overhead_fraction": self.overhead_fraction,
         }
 
+    @classmethod
+    def from_dict(cls, record):
+        """Rebuild a sample from :meth:`to_dict` output (checkpoints)."""
+        return cls(
+            index=record["index"],
+            cycle=record["cycle"],
+            metrics=dict(record["metrics"]),
+            spans=list(record["spans"]),
+            groups=[dict(group) for group in record["groups"]],
+            overhead_fraction=record["overhead_fraction"],
+        )
+
     def __repr__(self):
         return (f"Sample(#{self.index} @ {self.cycle}, "
                 f"{len(self.metrics)} metrics, "
@@ -277,6 +289,39 @@ class SamplingProfiler:
 
     def __len__(self):
         return len(self._ring)
+
+    # ------------------------------------------------------------------
+    # durable state (repro.checkpoint/v1)
+    # ------------------------------------------------------------------
+    def state_dict(self):
+        """JSON-able ring contents and counters for checkpoints."""
+        return {
+            "interval_cycles": self.interval_cycles,
+            "capacity": self._ring.maxlen,
+            "samples_taken": self.samples_taken,
+            "samples_evicted": self.samples_evicted,
+            "ring": [sample.to_dict() for sample in self._ring],
+        }
+
+    def load_state(self, payload):
+        """Restore :meth:`state_dict` output into this profiler."""
+        if payload["capacity"] != self._ring.maxlen:
+            raise ValueError(
+                f"sampler state mismatch: recorded capacity "
+                f"{payload['capacity']}, profiler has {self._ring.maxlen}"
+            )
+        if payload["interval_cycles"] != self.interval_cycles:
+            raise ValueError(
+                f"sampler state mismatch: recorded interval "
+                f"{payload['interval_cycles']}, profiler has "
+                f"{self.interval_cycles}"
+            )
+        self.samples_taken = payload["samples_taken"]
+        self.samples_evicted = payload["samples_evicted"]
+        self._ring.clear()
+        for record in payload["ring"]:
+            self._ring.append(Sample.from_dict(record))
+        return self
 
 
 def _overhead_fraction(metrics, cycle):

@@ -62,6 +62,17 @@ class MonitorStackConfig:
     trend: str = None
     #: samples per trend series window (None = engine default).
     trend_window: int = None
+    #: fold trend series onto this period (cycles) and subtract a
+    #: frozen per-phase median baseline before detection; None = flat
+    #: calibration (requires --trend).
+    seasonal_period: int = None
+    #: keep bounded tiered metric history (``repro.history/v1``).
+    history: bool = False
+    #: write a ``repro.checkpoint/v1`` document every N cycles
+    #: (evaluated at request boundaries); None = off.
+    checkpoint_every: int = None
+    #: directory checkpoint documents land in (default ./checkpoints).
+    checkpoint_dir: str = None
 
     # ------------------------------------------------------------------
     # validation / derived views
@@ -97,6 +108,28 @@ class MonitorStackConfig:
                 raise ConfigurationError(
                     f"--trend-window must be >= {MIN_SLOPE_POINTS} "
                     f"samples, got {self.trend_window}")
+        if self.seasonal_period is not None:
+            if self.trend is None:
+                raise ConfigurationError(
+                    "--seasonal-period requires --trend (the baseline "
+                    "feeds the trend detectors)")
+            if self.seasonal_period < 1:
+                raise ConfigurationError(
+                    f"--seasonal-period must be >= 1 cycle, got "
+                    f"{self.seasonal_period}")
+        if self.history and self.sample_every is None:
+            raise ConfigurationError(
+                "--history requires --sample-every (the history store "
+                "consumes profiler samples)")
+        if self.checkpoint_every is not None \
+                and self.checkpoint_every < 1:
+            raise ConfigurationError(
+                f"--checkpoint-every must be >= 1 cycle, got "
+                f"{self.checkpoint_every}")
+        if self.checkpoint_dir is not None \
+                and self.checkpoint_every is None:
+            raise ConfigurationError(
+                "--checkpoint-dir requires --checkpoint-every")
         return self
 
     @property
@@ -111,10 +144,23 @@ class MonitorStackConfig:
     def wants_forensics(self):
         return self.dump_dir is not None or self.dump_on_alert
 
+    @property
+    def wants_history(self):
+        return self.history
+
+    @property
+    def wants_checkpoints(self):
+        return self.checkpoint_every is not None
+
     def resolved_dump_dir(self):
         """``--dump-on-alert`` without ``--dump-dir`` lands in ./dumps."""
         return self.dump_dir or ("dumps" if self.dump_on_alert
                                  else None)
+
+    def resolved_checkpoint_dir(self):
+        """``--checkpoint-every`` without a dir lands in ./checkpoints."""
+        return self.checkpoint_dir or (
+            "checkpoints" if self.checkpoint_every is not None else None)
 
     def for_machine(self, index):
         """Per-fleet-machine config: distinct sampling seed stream."""
@@ -139,6 +185,10 @@ class MonitorStackConfig:
             "dump_on_alert": self.dump_on_alert,
             "trend": self.trend,
             "trend_window": self.trend_window,
+            "seasonal_period": self.seasonal_period,
+            "history": self.history,
+            "checkpoint_every": self.checkpoint_every,
+            "checkpoint_dir": self.checkpoint_dir,
         }
 
     @classmethod
@@ -181,6 +231,10 @@ class MonitorStackConfig:
             dump_on_alert=getattr(args, "dump_on_alert", False),
             trend=getattr(args, "trend", None),
             trend_window=getattr(args, "trend_window", None),
+            seasonal_period=getattr(args, "seasonal_period", None),
+            history=getattr(args, "history", False),
+            checkpoint_every=getattr(args, "checkpoint_every", None),
+            checkpoint_dir=getattr(args, "checkpoint_dir", None),
         ).validate()
 
 
@@ -246,6 +300,29 @@ def add_monitoring_arguments(parent=None, sample_every_default=None):
              + str(DEFAULT_WINDOW) + "; requires --trend)",
     )
     group.add_argument(
+        "--seasonal-period", type=int, default=None, metavar="CYCLES",
+        help="fold trend series onto this period and subtract a "
+             "frozen per-phase median baseline before detection "
+             "(diurnal traffic; requires --trend)",
+    )
+    group.add_argument(
+        "--history", action="store_true",
+        help="keep bounded tiered metric history (repro.history/v1; "
+             "raw ring + widening min/max/mean/count buckets; "
+             "requires --sample-every)",
+    )
+    group.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="CYCLES",
+        help="write a repro.checkpoint/v1 document every N cycles, "
+             "evaluated at request boundaries (resume with "
+             "'repro resume')",
+    )
+    group.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="directory checkpoint documents land in "
+             "(default ./checkpoints; requires --checkpoint-every)",
+    )
+    group.add_argument(
         "--rules", default="default", metavar="default|none|FILE",
         help="alert rules for --sample-every: the built-in "
              "production set, none, or a JSON rule file",
@@ -294,7 +371,8 @@ class MonitorStack:
 
     def __init__(self, config, machine, monitor, sampler=None,
                  engine=None, sink=None, stream=None, recorder=None,
-                 alert_rules=(), trend=None):
+                 alert_rules=(), trend=None, history=None,
+                 scheduler=None):
         self.config = config
         self.machine = machine
         self.monitor = monitor
@@ -305,6 +383,8 @@ class MonitorStack:
         self.recorder = recorder
         self.alert_rules = list(alert_rules)
         self.trend = trend
+        self.history = history
+        self.scheduler = scheduler
         self._closed = False
 
     def start(self):
@@ -344,6 +424,22 @@ class MonitorStack:
         return (list(self.recorder.bundle_paths)
                 if self.recorder is not None else [])
 
+    @property
+    def checkpoint_paths(self):
+        return (list(self.scheduler.checkpoint_paths)
+                if self.scheduler is not None else [])
+
+    @property
+    def request_hook(self):
+        """Workload request-boundary hook, or None when unneeded.
+
+        Pass as ``run_workload(..., request_hook=stack.request_hook)``
+        so the checkpoint scheduler sees every boundary; purely
+        observational, so passing it never changes the run.
+        """
+        return (self.scheduler.on_request
+                if self.scheduler is not None else None)
+
     def monitoring_info(self):
         """The ``monitoring`` sub-dict a forensic bundle records."""
         info = {}
@@ -357,7 +453,12 @@ class MonitorStack:
             info["trend"] = {
                 "detector": self.config.trend,
                 "window": self.trend.window,
+                "seasonal_period": self.trend.seasonal_period,
+                "seasonal_phases": self.trend.seasonal_phases,
+                "seasonal_warmup": self.trend.seasonal_warmup,
             }
+        if self.history is not None:
+            info["history"] = True
         return info
 
 
@@ -384,7 +485,7 @@ def build_monitor_stack(config, machine=None, monitor=None,
     if monitor is None:
         monitor = make_monitor(config.monitor, sampling=config.sampling)
 
-    sampler = engine = trend = None
+    sampler = engine = trend = history = None
     rules = []
     if config.wants_profiler:
         from repro.obs.alerts import (
@@ -400,7 +501,8 @@ def build_monitor_stack(config, machine=None, monitor=None,
         if config.wants_trend:
             from repro.obs.trend import TrendEngine
             trend = TrendEngine(
-                machine, window=config.trend_window or DEFAULT_WINDOW)
+                machine, window=config.trend_window or DEFAULT_WINDOW,
+                seasonal_period=config.seasonal_period)
             rules = rules + default_trend_rules(config.trend)
             # The trend listener must observe before the alert engine
             # evaluates, so trend rules judge this sample's verdicts.
@@ -409,6 +511,10 @@ def build_monitor_stack(config, machine=None, monitor=None,
                              metrics=machine.metrics,
                              trend_source=trend)
         sampler.add_listener(engine.evaluate)
+        if config.wants_history:
+            from repro.obs.history import HistoryStore
+            history = HistoryStore(metrics=machine.metrics)
+            sampler.add_listener(history.observe)
 
     sink = stream = None
     if config.stream is not None:
@@ -425,18 +531,30 @@ def build_monitor_stack(config, machine=None, monitor=None,
 
     stack = MonitorStack(config, machine, monitor, sampler=sampler,
                          engine=engine, sink=sink, stream=stream,
-                         alert_rules=rules, trend=trend)
-    if config.wants_forensics and run_info is not None:
-        from repro.obs.forensics import ForensicRecorder
+                         alert_rules=rules, trend=trend,
+                         history=history)
+    info = None
+    if run_info is not None:
         info = dict(run_info)
         monitoring = stack.monitoring_info()
         if monitoring:
             info["monitoring"] = monitoring
+    if config.wants_forensics and info is not None:
+        from repro.obs.forensics import ForensicRecorder
         stack.recorder = ForensicRecorder(
             machine, monitor=monitor, run_info=info,
             dump_dir=config.resolved_dump_dir(),
             label=label or info.get("workload", "run"),
             on_alert=config.dump_on_alert,
             trend=trend,
+        )
+    if config.wants_checkpoints and info is not None:
+        from repro.obs.checkpoint import CheckpointScheduler
+        stack.scheduler = CheckpointScheduler(
+            machine, config.checkpoint_every, monitor=monitor,
+            run_info=info, sampler=sampler, engine=engine, trend=trend,
+            history=history,
+            checkpoint_dir=config.resolved_checkpoint_dir(),
+            label=label or info.get("workload", "run"),
         )
     return stack

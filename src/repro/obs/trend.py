@@ -51,6 +51,25 @@ the site, or it fell out of the sampler's top-N) is **ended**: its
 state is dropped so a later reappearance starts a fresh window instead
 of computing a slope across the gap.
 
+With ``seasonal_period`` set, the engine folds every observation onto
+its phase within the period and subtracts a **frozen per-phase median
+baseline** before the detectors see it.  During the first
+``seasonal_warmup`` periods the engine only records (no verdicts, no
+events); at the first post-warmup observation of a series its baseline
+freezes -- a continuously updated baseline would slowly absorb a real
+leak -- and from then on the detectors judge *residuals*.  Clean
+diurnal traffic (a session pool that swells by day and drains by
+night) then cancels to ~0, while a leak's residual keeps climbing.
+Phase bins a series never visited during warmup copy the circularly
+nearest recorded bin; a series first seen after warmup gets an
+all-zero baseline (raw values pass through).  See
+docs/OBSERVABILITY.md.
+
+The whole engine state -- windows, CUSUM/Page-Hinkley accumulators,
+hysteresis latches, seasonal baselines -- round-trips bit-exactly
+through :meth:`TrendEngine.state_dict` / :meth:`TrendEngine.load_state`
+for ``repro.checkpoint/v1`` documents.
+
 The engine exports a ``trend.*`` probe namespace (documented in
 docs/OBSERVABILITY.md); note that probe values captured *in* a sample
 reflect the previous observation, because the sampler snapshots
@@ -96,6 +115,12 @@ DEFAULT_PH_DELTA = 0.0
 
 #: breached latches clear below ``threshold * clear_ratio``.
 DEFAULT_CLEAR_RATIO = 0.5
+
+#: phase bins the seasonal baseline folds a period into.
+DEFAULT_SEASONAL_PHASES = 32
+
+#: full periods recorded before the seasonal baseline freezes.
+DEFAULT_SEASONAL_WARMUP = 2
 
 
 def group_series_name(size, call_signature):
@@ -163,9 +188,9 @@ class _SeriesState:
 
     __slots__ = ("window", "last_value", "cusum", "ph_count", "ph_mean",
                  "ph_m", "ph_min", "breached", "last_cycle",
-                 "points_seen")
+                 "points_seen", "season_bins", "baseline")
 
-    def __init__(self, window):
+    def __init__(self, window, seasonal_phases=None):
         #: (cycle, value) ring for the Theil-Sen window.
         self.window = deque(maxlen=window)
         self.last_value = None
@@ -178,6 +203,20 @@ class _SeriesState:
         self.breached = {detector: False for detector in DETECTORS}
         self.last_cycle = 0
         self.points_seen = 0
+        #: per-phase raw values recorded during seasonal warmup.
+        self.season_bins = ([[] for _ in range(seasonal_phases)]
+                            if seasonal_phases else None)
+        #: per-phase frozen medians (None until the baseline freezes).
+        self.baseline = None
+
+
+def _median(values):
+    """Median of a non-empty list (sorted internally)."""
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
 
 
 def theil_sen_slope(points):
@@ -218,7 +257,11 @@ class TrendEngine:
                  cusum_drift=DEFAULT_CUSUM_DRIFT,
                  ph_threshold=DEFAULT_PH_THRESHOLD,
                  ph_delta=DEFAULT_PH_DELTA,
-                 clear_ratio=DEFAULT_CLEAR_RATIO):
+                 clear_ratio=DEFAULT_CLEAR_RATIO,
+                 seasonal_period=None,
+                 seasonal_phases=DEFAULT_SEASONAL_PHASES,
+                 seasonal_warmup=DEFAULT_SEASONAL_WARMUP,
+                 emit_events=True, register_probes=True):
         if window < MIN_SLOPE_POINTS:
             raise ConfigurationError(
                 f"trend window must be >= {MIN_SLOPE_POINTS}, "
@@ -228,6 +271,20 @@ class TrendEngine:
             raise ConfigurationError(
                 f"trend clear_ratio must be within [0, 1], "
                 f"got {clear_ratio}"
+            )
+        if seasonal_period is not None and seasonal_period < 1:
+            raise ConfigurationError(
+                f"seasonal period must be >= 1 cycle, "
+                f"got {seasonal_period}"
+            )
+        if seasonal_phases < 1:
+            raise ConfigurationError(
+                f"seasonal phases must be >= 1, got {seasonal_phases}"
+            )
+        if seasonal_warmup < 1:
+            raise ConfigurationError(
+                f"seasonal warmup must be >= 1 period, "
+                f"got {seasonal_warmup}"
             )
         self._machine = machine
         self._events = machine.events
@@ -240,6 +297,14 @@ class TrendEngine:
         }
         self.cusum_drift = float(cusum_drift)
         self.ph_delta = float(ph_delta)
+        self.seasonal_period = seasonal_period
+        self.seasonal_phases = seasonal_phases
+        self.seasonal_warmup = seasonal_warmup
+        #: False silences TREND event emission -- a purely
+        #: computational observer (e.g. the no-baseline control engine
+        #: the SEASON experiment runs alongside) that cannot perturb
+        #: the replayable event stream.
+        self.emit_events = emit_events
         self._series = {}
         #: series name -> {detector -> TrendVerdict} from the latest
         #: observation of that series.
@@ -247,7 +312,11 @@ class TrendEngine:
         self.evaluations = 0
         self.series_ended = 0
         self.breach_onsets = 0
-        self._register_probes(machine.metrics)
+        #: breach-onset log: {"cycle", "series", "detector"} dicts in
+        #: onset order (experiments score control engines from this).
+        self.onsets = []
+        if register_probes:
+            self._register_probes(machine.metrics)
 
     # ------------------------------------------------------------------
     # probes (documented in docs/OBSERVABILITY.md)
@@ -312,17 +381,69 @@ class TrendEngine:
         self._verdicts.pop(name, None)
         self.series_ended += 1
         for detector, latched in sorted(state.breached.items()):
-            if latched:
+            if latched and self.emit_events:
                 self._events.emit(
                     EventKind.TREND,
                     series=name, detector=detector, breached=False,
                     value=0.0, reason="series-ended",
                 )
 
+    def _seasonal_adjust(self, state, cycle, value):
+        """Seasonal pipeline: record during warmup, residual after.
+
+        Returns None while the baseline is still warming up (the
+        observation was recorded; the detectors must not run), else the
+        residual ``value - baseline[phase]``.
+        """
+        period = self.seasonal_period
+        phase = (cycle % period) * self.seasonal_phases // period
+        if cycle < period * self.seasonal_warmup:
+            state.season_bins[phase].append(value)
+            return None
+        if state.baseline is None:
+            state.baseline = self._freeze_baseline(state.season_bins)
+        return value - state.baseline[phase]
+
+    def _freeze_baseline(self, season_bins):
+        """Per-phase medians; empty bins copy the nearest recorded bin.
+
+        Sampling cadences rarely visit every phase bin during warmup.
+        An unvisited bin takes the median of the circularly nearest
+        visited bin -- for a smooth seasonal signal that is off by at
+        most one bin of slope, where a series-wide fallback would be
+        off by the full seasonal amplitude.  A series with no warmup
+        data at all (first seen after warmup) gets an all-zero
+        baseline, so its raw values pass through.
+        """
+        filled = [i for i, bin_values in enumerate(season_bins)
+                  if bin_values]
+        if not filled:
+            return [0.0] * self.seasonal_phases
+        medians = {i: _median(season_bins[i]) for i in filled}
+        phases = self.seasonal_phases
+        return [
+            medians[i] if i in medians else medians[min(
+                filled,
+                key=lambda j: min((i - j) % phases, (j - i) % phases),
+            )]
+            for i in range(phases)
+        ]
+
     def _observe_series(self, name, cycle, value):
         state = self._series.get(name)
         if state is None:
-            state = self._series[name] = _SeriesState(self.window)
+            state = self._series[name] = _SeriesState(
+                self.window,
+                seasonal_phases=(self.seasonal_phases
+                                 if self.seasonal_period else None))
+        if self.seasonal_period:
+            value = self._seasonal_adjust(state, cycle, value)
+            if value is None:
+                # Warmup: the baseline recorded the raw value; the
+                # detectors stay gated until it freezes.
+                state.last_cycle = cycle
+                state.points_seen += 1
+                return
         previous = state.last_value
         state.window.append((cycle, value))
         state.last_cycle = cycle
@@ -358,18 +479,22 @@ class TrendEngine:
             if not latched and stat >= threshold:
                 latched = True
                 self.breach_onsets += 1
-                self._events.emit(
-                    EventKind.TREND,
-                    series=name, detector=detector, breached=True,
-                    value=stat,
-                )
+                self.onsets.append({"cycle": cycle, "series": name,
+                                    "detector": detector})
+                if self.emit_events:
+                    self._events.emit(
+                        EventKind.TREND,
+                        series=name, detector=detector, breached=True,
+                        value=stat,
+                    )
             elif latched and stat < clear_at:
                 latched = False
-                self._events.emit(
-                    EventKind.TREND,
-                    series=name, detector=detector, breached=False,
-                    value=stat,
-                )
+                if self.emit_events:
+                    self._events.emit(
+                        EventKind.TREND,
+                        series=name, detector=detector, breached=False,
+                        value=stat,
+                    )
             state.breached[detector] = latched
             verdicts[detector] = TrendVerdict(
                 series=name, detector=detector, cycle=cycle,
@@ -405,7 +530,7 @@ class TrendEngine:
         series = []
         for name in sorted(self._series):
             state = self._series[name]
-            series.append({
+            row = {
                 "name": name,
                 "points": len(state.window),
                 "points_seen": state.points_seen,
@@ -416,8 +541,11 @@ class TrendEngine:
                     for detector in DETECTORS
                     if name in self._verdicts
                 ],
-            })
-        return {
+            }
+            if self.seasonal_period:
+                row["baseline_ready"] = state.baseline is not None
+            series.append(row)
+        summary = {
             "window": self.window,
             "clear_ratio": self.clear_ratio,
             "thresholds": dict(self.thresholds),
@@ -426,3 +554,135 @@ class TrendEngine:
             "breach_onsets": self.breach_onsets,
             "series": series,
         }
+        if self.seasonal_period:
+            summary["seasonal"] = {
+                "period": self.seasonal_period,
+                "phases": self.seasonal_phases,
+                "warmup_periods": self.seasonal_warmup,
+            }
+        return summary
+
+    # ------------------------------------------------------------------
+    # durable state (repro.checkpoint/v1)
+    # ------------------------------------------------------------------
+    def state_dict(self):
+        """Complete detector state, JSON-able and bit-exact.
+
+        Everything a resumed engine needs to continue producing the
+        same verdicts: windows, CUSUM/Page-Hinkley accumulators,
+        hysteresis latches, seasonal bins/baselines, counters, and the
+        latest verdicts.  Floats survive a JSON round-trip exactly
+        (repr round-trip), so ``load_state(state_dict())`` is the
+        identity.
+        """
+        series = {}
+        for name in sorted(self._series):
+            state = self._series[name]
+            series[name] = {
+                "window": [[cycle, value]
+                           for cycle, value in state.window],
+                "last_value": state.last_value,
+                "cusum": state.cusum,
+                "ph_count": state.ph_count,
+                "ph_mean": state.ph_mean,
+                "ph_m": state.ph_m,
+                "ph_min": state.ph_min,
+                "breached": dict(state.breached),
+                "last_cycle": state.last_cycle,
+                "points_seen": state.points_seen,
+                "season_bins": (
+                    [list(bin_values)
+                     for bin_values in state.season_bins]
+                    if state.season_bins is not None else None),
+                "baseline": (list(state.baseline)
+                             if state.baseline is not None else None),
+            }
+        return {
+            "window": self.window,
+            "clear_ratio": self.clear_ratio,
+            "thresholds": dict(self.thresholds),
+            "cusum_drift": self.cusum_drift,
+            "ph_delta": self.ph_delta,
+            "seasonal_period": self.seasonal_period,
+            "seasonal_phases": self.seasonal_phases,
+            "seasonal_warmup": self.seasonal_warmup,
+            "evaluations": self.evaluations,
+            "series_ended": self.series_ended,
+            "breach_onsets": self.breach_onsets,
+            "onsets": [dict(onset) for onset in self.onsets],
+            "series": series,
+            "verdicts": {
+                name: {detector: verdict.to_dict()
+                       for detector, verdict in
+                       sorted(self._verdicts[name].items())}
+                for name in sorted(self._verdicts)
+            },
+        }
+
+    def load_state(self, payload):
+        """Restore :meth:`state_dict` output into this engine.
+
+        The engine's own configuration (window, thresholds, seasonal
+        settings) must match the recorded one -- a checkpoint resumed
+        under different detector tuning would silently change verdicts.
+        """
+        for key, mine in (("window", self.window),
+                          ("clear_ratio", self.clear_ratio),
+                          ("cusum_drift", self.cusum_drift),
+                          ("ph_delta", self.ph_delta),
+                          ("seasonal_period", self.seasonal_period),
+                          ("seasonal_phases", self.seasonal_phases),
+                          ("seasonal_warmup", self.seasonal_warmup)):
+            if payload.get(key) != mine:
+                raise ConfigurationError(
+                    f"trend state mismatch: recorded {key}="
+                    f"{payload.get(key)!r}, engine has {mine!r}"
+                )
+        if dict(payload.get("thresholds", {})) != self.thresholds:
+            raise ConfigurationError(
+                f"trend state mismatch: recorded thresholds="
+                f"{payload.get('thresholds')!r}, engine has "
+                f"{self.thresholds!r}"
+            )
+        self.evaluations = payload["evaluations"]
+        self.series_ended = payload["series_ended"]
+        self.breach_onsets = payload["breach_onsets"]
+        self.onsets = [dict(onset)
+                       for onset in payload.get("onsets", [])]
+        self._series = {}
+        self._verdicts = {}
+        for name, record in payload["series"].items():
+            state = _SeriesState(
+                self.window,
+                seasonal_phases=(self.seasonal_phases
+                                 if self.seasonal_period else None))
+            for cycle, value in record["window"]:
+                state.window.append((cycle, value))
+            state.last_value = record["last_value"]
+            state.cusum = record["cusum"]
+            state.ph_count = record["ph_count"]
+            state.ph_mean = record["ph_mean"]
+            state.ph_m = record["ph_m"]
+            state.ph_min = record["ph_min"]
+            state.breached = {detector: bool(record["breached"][detector])
+                              for detector in DETECTORS}
+            state.last_cycle = record["last_cycle"]
+            state.points_seen = record["points_seen"]
+            if record.get("season_bins") is not None:
+                state.season_bins = [list(bin_values) for bin_values
+                                     in record["season_bins"]]
+            if record.get("baseline") is not None:
+                state.baseline = list(record["baseline"])
+            self._series[name] = state
+        for name, verdicts in payload.get("verdicts", {}).items():
+            self._verdicts[name] = {
+                detector: TrendVerdict(
+                    series=record["series"],
+                    detector=record["detector"],
+                    cycle=record["cycle"],
+                    value=record["value"],
+                    breached=record["breached"],
+                )
+                for detector, record in verdicts.items()
+            }
+        return self

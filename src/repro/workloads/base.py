@@ -66,13 +66,19 @@ class Workload:
     # ------------------------------------------------------------------
     # template method
     # ------------------------------------------------------------------
-    def run(self, program, buggy=False):
+    def run(self, program, buggy=False, request_hook=None):
         """Drive the program through ``self.requests`` requests.
 
         In buggy corruption workloads the corrupting access raises
         :class:`MonitorError` when a detector is attached; the harness
         records it in the ground truth and stops (the paper's SafeMem
         pauses the program at the first corruption fault).
+
+        ``request_hook(index, truth)`` runs after each completed
+        request, at the quiescent boundary between requests.  Hooks
+        must be observation-only (checkpoint capture, progress
+        reporting): ticking the clock or touching program state from
+        one would desynchronize the run from its un-hooked twin.
         """
         truth = GroundTruth()
         self.setup(program, truth)
@@ -81,6 +87,8 @@ class Workload:
                 self.handle_request(program, index, buggy, truth)
                 truth.requests_completed = index + 1
                 truth.cycle_marks.append(program.cpu_time)
+                if request_hook is not None:
+                    request_hook(index, truth)
         except MonitorError as error:
             truth.detection = error
         finally:

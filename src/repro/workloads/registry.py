@@ -1,5 +1,6 @@
 """Registry of the seven Table 1 applications (plus extensions)."""
 
+from repro.workloads.diurnal import DIURNAL_WORKLOADS
 from repro.workloads.gzip_ import Gzip
 from repro.workloads.httpd import Httpd
 from repro.workloads.proftpd import Proftpd
@@ -18,9 +19,12 @@ PAPER_WORKLOADS = {
     "squid2": Squid2,
 }
 
-#: Extension workloads beyond the paper's seven.
+#: Extension workloads beyond the paper's seven.  The ``-diurnal``
+#: wrappers replay the leak workloads under seasonal session traffic
+#: (see ``repro.workloads.diurnal``).
 EXTENSION_WORKLOADS = {
     "httpd": Httpd,
+    **DIURNAL_WORKLOADS,
 }
 
 WORKLOADS = {**PAPER_WORKLOADS, **EXTENSION_WORKLOADS}

@@ -25,6 +25,8 @@ from repro.analysis.experiments import (
     Table4Row,
     Table5Result,
     Table5Row,
+    SeasonHeadToHeadResult,
+    SeasonScenarioRow,
     TrendHeadToHeadResult,
     TrendScenarioRow,
 )
@@ -114,10 +116,33 @@ def good_context():
         )
         for name in ("ypserv1", "ypserv2")
     ])
+    season = SeasonHeadToHeadResult(sample_every=200_000, rows=[
+        SeasonScenarioRow(
+            workload=f"{name}-diurnal", buggy=True,
+            cycles=400_000_000, samples=2000,
+            baseline_cycle=120_000_000,
+            fired={detector: detector == "cusum"
+                   for detector in DETECTORS},
+            first_cycle={detector: (200_000_000
+                                    if detector == "cusum" else None)
+                         for detector in DETECTORS},
+            flat_onsets=4, flat_first_cycle=60_000_000,
+        )
+        for name in ("ypserv1", "ypserv2")
+    ] + [
+        SeasonScenarioRow(
+            workload=f"{name}-diurnal", buggy=False,
+            cycles=400_000_000, samples=2000, baseline_cycle=None,
+            fired={detector: False for detector in DETECTORS},
+            first_cycle={detector: None for detector in DETECTORS},
+            flat_onsets=6, flat_first_cycle=60_000_000,
+        )
+        for name in ("ypserv1", "ypserv2")
+    ])
     return {
         "table2": table2, "table3": table3, "table4": table4,
         "table5": table5, "figure3": figure3, "codecs": codecs,
-        "sampling": sampling, "trend": trend,
+        "sampling": sampling, "trend": trend, "season": season,
     }
 
 
@@ -224,4 +249,4 @@ class TestClaimHygiene:
             assert claim.statement
             assert claim.source in ("table2", "table3", "table4",
                                     "table5", "figure3", "codecs",
-                                    "sampling", "trend")
+                                    "sampling", "trend", "season")

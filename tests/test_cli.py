@@ -74,7 +74,9 @@ class TestParser:
 
         expected = {"--profile", "--sample-rate", "--sample-seed",
                     "--guard-budget", "--sample-every", "--rules",
-                    "--trend", "--trend-window",
+                    "--trend", "--trend-window", "--seasonal-period",
+                    "--history", "--checkpoint-every",
+                    "--checkpoint-dir",
                     "--stream", "--stream-max-bytes", "--dump-dir",
                     "--dump-on-alert"}
         for command in ("monitor", "fleet", "validate", "run"):

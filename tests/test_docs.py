@@ -172,6 +172,44 @@ def test_checker_accepts_consistent_hardware_matrix(tmp_path):
     assert docs_check.run_checks(root) == []
 
 
+def _fake_schema_repo(tmp_path, source_text, schemas_text=None):
+    root = _fake_repo(tmp_path, "repro.core\n")
+    (root / "src" / "repro" / "core" / "export.py").write_text(source_text)
+    if schemas_text is not None:
+        (root / "docs" / "SCHEMAS.md").write_text(schemas_text)
+    return root
+
+
+def test_checker_flags_undocumented_schema_tag(tmp_path):
+    root = _fake_schema_repo(
+        tmp_path, 'SCHEMA = "repro.mystery/v1"\n',
+        schemas_text="# Schemas\n\nnothing here\n")
+    problems = docs_check.run_checks(root)
+    assert any("repro.mystery/v1" in p and "no" in p for p in problems)
+
+
+def test_checker_flags_stale_schema_section(tmp_path):
+    root = _fake_schema_repo(
+        tmp_path, "SCHEMA = None\n",
+        schemas_text="# Schemas\n\n## `repro.ghost/v2`\n\ngone\n")
+    problems = docs_check.run_checks(root)
+    assert any("repro.ghost/v2" in p and "no longer" in p
+               for p in problems)
+
+
+def test_checker_flags_missing_schemas_doc_when_tags_exist(tmp_path):
+    root = _fake_schema_repo(tmp_path, 'SCHEMA = "repro.mystery/v1"\n')
+    problems = docs_check.run_checks(root)
+    assert any("docs/SCHEMAS.md: missing" in p for p in problems)
+
+
+def test_checker_accepts_matching_schema_docs(tmp_path):
+    root = _fake_schema_repo(
+        tmp_path, 'SCHEMA = "repro.mystery/v1"\n',
+        schemas_text="# Schemas\n\n## `repro.mystery/v1`\n\ndoc'd\n")
+    assert docs_check.run_checks(root) == []
+
+
 def test_repo_hardware_matrix_names_match_registries():
     # The scraped names must equal what the packages actually register
     # (guards the docs_check regexes themselves against refactors).

@@ -46,7 +46,9 @@ class TestJobEnumeration:
         assert idents.index(
             f"sampling:{fleet.SAMPLING_CURVE_RATES[-1]:g}") \
             < idents.index("trend:ypserv1:buggy")
-        assert idents[-1].startswith("trend:")
+        assert idents.index("trend:ypserv1:buggy") < idents.index(
+            "season:ypserv1-diurnal:buggy")
+        assert idents[-1].startswith("season:")
 
     def test_requests_declared_in_params(self):
         specs = fleet.enumerate_validation_jobs(requests=33)

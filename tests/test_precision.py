@@ -1,0 +1,198 @@
+"""Cycle-arithmetic audit at long-horizon magnitudes (>= 4e9 cycles).
+
+Every quantity derived from the cycle counter must stay exact past the
+32-bit boundary and far beyond: the clock itself, the sampler's
+overhead fraction, per-megacycle rate rules, histogram sums, Theil-Sen
+slopes (translation invariance in both axes), seasonal phase folding,
+history bucket alignment, and checkpoint-scheduler due arithmetic.
+Python integers are arbitrary precision, so these are regression tests
+against the obvious refactors -- float intermediate, modulo on a
+truncated value -- that would silently break multi-billion-cycle runs.
+"""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.machine.machine import Machine
+from repro.obs.alerts import AlertEngine, AlertRule
+from repro.obs.checkpoint import CheckpointScheduler
+from repro.obs.history import HistoryStore
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sampler import (
+    MONITORING_SPAN_SUMS,
+    Sample,
+    SamplingProfiler,
+    _overhead_fraction,
+)
+from repro.obs.trend import MEGACYCLE, TrendEngine, theil_sen_slope
+
+#: just past 2^32 -- the boundary a 32-bit cycle counter would wrap at.
+BIG = 4_300_000_000
+
+
+def make_sample(index, cycle, heap):
+    return Sample(index=index, cycle=cycle,
+                  metrics={"heap.live_bytes": heap,
+                           "safemem.watch.armed": 0.0},
+                  spans=[], groups=[], overhead_fraction=0.0)
+
+
+class TestClockAtScale:
+    def test_tick_stays_integer_exact(self):
+        clock = VirtualClock()
+        clock.tick(BIG)
+        clock.tick(1)
+        assert clock.cycles == BIG + 1
+        assert isinstance(clock.cycles, int)
+
+    def test_idle_accounting_is_separate_and_exact(self):
+        clock = VirtualClock()
+        clock.tick(BIG)
+        clock.idle(BIG + 3)
+        assert clock.cycles == BIG
+        assert clock.idle_cycles == BIG + 3
+
+
+class TestOverheadFractionAtScale:
+    def test_fraction_is_exact_at_big_cycles(self):
+        name = MONITORING_SPAN_SUMS[0]
+        metrics = {f"{name}.sum": BIG // 4}
+        assert _overhead_fraction(metrics, BIG) == (BIG // 4) / BIG
+
+    def test_fraction_sums_every_monitoring_span(self):
+        metrics = {f"{name}.sum": 1_000_000
+                   for name in MONITORING_SPAN_SUMS}
+        expected = len(MONITORING_SPAN_SUMS) * 1_000_000 / BIG
+        assert _overhead_fraction(metrics, BIG) == expected
+
+    def test_zero_cycle_guard(self):
+        assert _overhead_fraction({}, 0) == 0.0
+
+    def test_live_sampler_at_big_cycles(self):
+        machine = Machine(dram_size=8 * 1024 * 1024)
+        sampler = SamplingProfiler(machine, interval_cycles=1_000_000)
+        machine.clock.tick(BIG)
+        sample = sampler.sample_now()
+        assert sample.cycle == BIG
+        assert 0.0 <= sample.overhead_fraction < 1.0
+
+
+class TestRateRulesAtScale:
+    def _evaluate(self, cycles_values):
+        rule = AlertRule("growth", "heap.live_bytes", kind="rate",
+                         op=">", value=500.0)
+        machine = Machine(dram_size=8 * 1024 * 1024)
+        engine = AlertEngine([rule], events=machine.events)
+        for index, (cycle, value) in enumerate(cycles_values):
+            engine.evaluate(make_sample(index, cycle, value))
+        return engine.alerts["growth"]
+
+    def test_per_megacycle_rate_is_exact_at_big_cycles(self):
+        alert = self._evaluate([(BIG, 1000.0),
+                                (BIG + 2 * MEGACYCLE, 3000.0)])
+        # (3000 - 1000) over 2 Mcycles = 1000 per Mcycle: exact.
+        assert alert.last_value == 1000.0
+        assert alert.state == "firing"
+
+    def test_rate_is_translation_invariant(self):
+        near_zero = self._evaluate([(0, 1000.0),
+                                    (2 * MEGACYCLE, 3000.0)])
+        far_out = self._evaluate([(BIG, 1000.0),
+                                  (BIG + 2 * MEGACYCLE, 3000.0)])
+        assert near_zero.last_value == far_out.last_value
+
+
+class TestHistogramSumsAtScale:
+    def test_sums_of_big_cycle_observations_stay_exact(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("span.request.cycles")
+        for _ in range(3):
+            histogram.observe(BIG)
+        snapshot = registry.snapshot()
+        assert snapshot["span.request.cycles.sum"] == 3 * BIG
+        assert snapshot["span.request.cycles.count"] == 3
+        assert snapshot["span.request.cycles.max"] == BIG
+
+
+class TestTheilSenAtScale:
+    def test_slope_is_cycle_translation_invariant(self):
+        base = [(i * 1_000_000, i * 100.0) for i in range(8)]
+        shifted = [(cycle + BIG, value) for cycle, value in base]
+        assert theil_sen_slope(base) == theil_sen_slope(shifted)
+
+    def test_trend_engine_slope_at_big_cycles(self):
+        engine = TrendEngine(Machine(dram_size=8 * 1024 * 1024),
+                             window=8)
+        for i in range(8):
+            engine.observe(make_sample(i, BIG + i * MEGACYCLE,
+                                       heap=i * 1000.0))
+        verdict = [v for v in engine.verdicts()
+                   if v.detector == "theil-sen"][0]
+        # 1000 bytes per megacycle, reported in per-megacycle units.
+        assert verdict.value == pytest.approx(1000.0)
+
+
+class TestSeasonalPhaseAtScale:
+    def test_phase_stays_in_range_and_periodic(self):
+        period, phases = 60_000_000, 150
+        for cycle in (0, period - 1, BIG, BIG + period,
+                      10**15 + 123_456_789):
+            phase = (cycle % period) * phases // period
+            assert 0 <= phase < phases
+        assert ((BIG % period) * phases // period) == \
+            (((BIG + 7 * period) % period) * phases // period)
+
+    def test_engine_residuals_at_big_cycles(self):
+        engine = TrendEngine(Machine(dram_size=8 * 1024 * 1024),
+                             window=8, seasonal_period=1000,
+                             seasonal_phases=10, seasonal_warmup=1)
+        # warm up over the first period (runs boot at cycle 0), then
+        # continue the identical periodic signal far past 2^32: the
+        # frozen baseline must fold onto the same phases out there.
+        offset = (BIG // 1000) * 1000  # keep period alignment
+        cycles = list(range(0, 1000, 100)) + \
+            [offset + c for c in range(0, 2000, 100)]
+        for index, cycle in enumerate(cycles):
+            engine.observe(make_sample(index, cycle,
+                                       heap=float(cycle % 1000)))
+        assert not any(v.breached for v in engine.verdicts())
+        for verdict in engine.verdicts():
+            assert abs(verdict.value) < 1e-9
+
+
+class TestHistoryBucketsAtScale:
+    def test_bucket_starts_align_exactly_past_32_bits(self):
+        store = HistoryStore(series=("heap.live_bytes",),
+                             tiers=((1_000_000, 4),), raw_capacity=4)
+        store.observe(make_sample(0, BIG, 1.0))
+        bucket = store.to_dict()["series"]["heap.live_bytes"]["tiers"][0][0]
+        assert bucket[0] == BIG - BIG % 1_000_000
+        assert bucket[0] % 1_000_000 == 0
+        # a second sample in the same megacycle folds, not splits.
+        store.observe(make_sample(1, BIG + 1, 2.0))
+        tier = store.to_dict()["series"]["heap.live_bytes"]["tiers"][0]
+        assert len(tier) == 1
+        assert tier[0][4] == 2
+
+    def test_raw_points_keep_full_precision(self):
+        store = HistoryStore(series=("heap.live_bytes",),
+                             tiers=((1_000_000, 4),), raw_capacity=4)
+        store.observe(make_sample(0, BIG + 7, 1.0))
+        raw = store.to_dict()["series"]["heap.live_bytes"]["raw"]
+        assert raw == [[BIG + 7, 1.0]]
+
+
+class TestSchedulerArithmeticAtScale:
+    def test_next_due_multiples_past_32_bits(self, tmp_path):
+        machine = Machine(dram_size=8 * 1024 * 1024)
+        every = 100_000_000
+        scheduler = CheckpointScheduler(machine, every,
+                                        checkpoint_dir=tmp_path,
+                                        label="big")
+        machine.clock.tick(BIG)
+        path = scheduler.on_request(0, None)
+        assert path is not None
+        assert scheduler.next_due == (BIG // every + 1) * every
+        assert scheduler.next_due % every == 0
+        assert scheduler.next_due > BIG
+        assert f"c{BIG}" in path.name

@@ -1,4 +1,4 @@
-"""Round-trip tests for the three stable on-disk schemas.
+"""Round-trip tests for the stable on-disk schemas.
 
 Each schema documented in ``docs/SCHEMAS.md`` must (a) write documents
 that parse back equal through plain JSON, (b) carry its version tag,
@@ -21,12 +21,19 @@ from repro.obs.export import (
     snapshot_from_document,
     write_metrics_json,
 )
+from repro.obs.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    capture_checkpoint,
+    load_checkpoint,
+    write_checkpoint,
+)
 from repro.obs.forensics import (
     DUMP_SCHEMA,
     capture_bundle,
     load_bundle,
     write_bundle,
 )
+from repro.obs.history import HISTORY_SCHEMA, HistoryStore
 from repro.obs.sampler import SamplingProfiler
 from repro.obs.sink import (
     EVENTS_SCHEMA,
@@ -114,10 +121,50 @@ class TestDumpSchemaRoundTrip:
         assert embedded.cycle == bundle["cycle"]
 
 
+class TestCheckpointSchemaRoundTrip:
+    def test_checkpoint_round_trips_through_disk(self, tmp_path):
+        result = run_workload("gzip", "safemem", requests=5, seed=1)
+        checkpoint = capture_checkpoint(
+            result.machine, monitor=result.monitor,
+            run_info={"workload": "gzip", "monitor": "safemem",
+                      "buggy": False, "requests": 5, "seed": 1},
+            request_index=5)
+        assert checkpoint["schema"] == CHECKPOINT_SCHEMA == \
+            "repro.checkpoint/v1"
+        path = write_checkpoint(checkpoint, tmp_path / "x.ckpt.json")
+        loaded = load_checkpoint(path)
+        assert loaded == json.loads(json.dumps(checkpoint))
+
+    def test_reader_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text(json.dumps({"schema": "repro.dump/v1"}))
+        with pytest.raises(ConfigurationError):
+            load_checkpoint(path)
+
+
+class TestHistorySchemaRoundTrip:
+    def test_history_round_trips_through_json(self):
+        store = HistoryStore()
+        machine = _machine()
+        sampler = SamplingProfiler(machine, interval_cycles=100)
+        for _ in range(7):
+            machine.clock.tick(250)
+            store.observe(sampler.sample_now())
+        document = json.loads(json.dumps(store.to_dict()))
+        assert document["schema"] == HISTORY_SCHEMA == \
+            "repro.history/v1"
+        assert HistoryStore.from_dict(document).to_dict() == document
+
+    def test_reader_rejects_wrong_schema(self):
+        with pytest.raises(ConfigurationError):
+            HistoryStore.from_dict({"schema": "repro.metrics/v1"})
+
+
 class TestSchemasAreDocumented:
     def test_every_schema_tag_has_a_doc_section(self):
         text = SCHEMAS_DOC.read_text()
-        for tag in (SCHEMA, EVENTS_SCHEMA, DUMP_SCHEMA):
+        for tag in (SCHEMA, EVENTS_SCHEMA, DUMP_SCHEMA,
+                    CHECKPOINT_SCHEMA, HISTORY_SCHEMA):
             assert f"`{tag}`" in text, \
                 f"{tag} is not documented in docs/SCHEMAS.md"
 

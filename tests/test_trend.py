@@ -479,7 +479,11 @@ class TestTrendEndToEnd:
         assert [rule.name for rule in stack.alert_rules] == \
             ["leak-trend-theil-sen"]
         info = stack.monitoring_info()
-        assert info["trend"] == {"detector": "theil-sen", "window": 8}
+        assert info["trend"] == {
+            "detector": "theil-sen", "window": 8,
+            "seasonal_period": None, "seasonal_phases": 32,
+            "seasonal_warmup": 2,
+        }
         stack.close()
 
 

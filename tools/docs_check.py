@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Docs consistency checker (run in tier-1 via tests/test_docs.py).
 
-Six checks keep the documentation layer from drifting away from the
+Seven checks keep the documentation layer from drifting away from the
 code layout:
 
 1. every ``repro.<pkg>`` named in ``docs/ARCHITECTURE.md`` exists as a
@@ -18,7 +18,11 @@ code layout:
 6. the hardware-diversity matrix in ``docs/HARDWARE.md`` covers every
    ECC codec registered in ``src/repro/ecc/codec.py`` and every
    chipset profile in ``src/repro/ecc/profile.py`` (and nothing that
-   no longer exists).
+   no longer exists);
+7. every versioned schema string (``repro.<name>/v<N>``) appearing in
+   Python source under ``src/`` has a matching ``## `repro.<name>/vN```
+   section heading in ``docs/SCHEMAS.md``, and SCHEMAS.md documents no
+   schema the code no longer mentions.
 
 Exit status is non-zero when any check fails, so the script can run as
 a pre-commit hook: ``python tools/docs_check.py``.
@@ -45,6 +49,12 @@ _PROFILE_NAME = re.compile(r'\bname\s*=\s*"([a-z0-9-]+)"')
 #: ``<!-- hw-matrix codecs: secded secdaec -->``.
 _HW_MARKER = re.compile(r"<!--\s*hw-matrix\s+(codecs|profiles):"
                         r"\s*([a-z0-9 -]*?)\s*-->")
+#: a versioned document schema tag, e.g. ``repro.checkpoint/v1``.
+_SCHEMA_TAG = re.compile(r"\brepro\.[a-z-]+/v\d+\b")
+#: a SCHEMAS.md section heading for one schema, e.g.
+#: ``## `repro.checkpoint/v1` — checkpoint document``.
+_SCHEMA_HEADING = re.compile(r"^#{2,6}\s+`(repro\.[a-z-]+/v\d+)`",
+                             re.MULTILINE)
 
 
 def package_references(architecture_text):
@@ -235,12 +245,59 @@ def check_hardware_matrix(root=REPO_ROOT):
     return problems
 
 
+def source_schema_tags(root=REPO_ROOT):
+    """Every ``repro.<name>/v<N>`` string in Python source under src/."""
+    tags = set()
+    for path in sorted((root / "src").rglob("*.py")):
+        tags.update(_SCHEMA_TAG.findall(path.read_text()))
+    return sorted(tags)
+
+
+def documented_schema_sections(root=REPO_ROOT):
+    """Schema tags with their own section heading in SCHEMAS.md."""
+    schemas = root / "docs" / "SCHEMAS.md"
+    if not schemas.is_file():
+        return []
+    return sorted(set(_SCHEMA_HEADING.findall(schemas.read_text())))
+
+
+def check_schema_sections(root=REPO_ROOT):
+    """Check 7: schema strings in src/ vs SCHEMAS.md section headings.
+
+    A schema tag that ships in the code without a ``## `repro.x/vN```
+    section in ``docs/SCHEMAS.md`` is an undocumented on-disk format;
+    a section for a tag no code mentions is documentation for a
+    format that can no longer be produced or read.
+    """
+    schemas = root / "docs" / "SCHEMAS.md"
+    tags = source_schema_tags(root)
+    if tags and not schemas.is_file():
+        return [
+            "docs/SCHEMAS.md: missing (every versioned schema string "
+            "in src/ must be documented there)"
+        ]
+    documented = documented_schema_sections(root)
+    problems = []
+    for tag in sorted(set(tags) - set(documented)):
+        problems.append(
+            f"docs/SCHEMAS.md: schema `{tag}` appears in src/ but has "
+            f"no `## \\`{tag}\\`` section"
+        )
+    for tag in sorted(set(documented) - set(tags)):
+        problems.append(
+            f"docs/SCHEMAS.md: documents schema `{tag}`, which no "
+            f"longer appears anywhere under src/"
+        )
+    return problems
+
+
 def run_checks(root=REPO_ROOT):
     return check_architecture_references(root) + \
         check_markdown_links(root) + \
         check_code_doc_anchors(root) + \
         check_markdown_anchors(root) + \
-        check_hardware_matrix(root)
+        check_hardware_matrix(root) + \
+        check_schema_sections(root)
 
 
 def main():
